@@ -1,0 +1,302 @@
+package ros
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5), one per artifact, plus ablation and substrate micro-benchmarks.
+//
+// Each experiment runs the full simulation and reports the headline virtual
+// metrics (paper_* = the published value, meas_* = this reproduction) via
+// b.ReportMetric; ns/op is the host cost of simulating the experiment.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"ros/internal/blockdev"
+	"ros/internal/experiments"
+	"ros/internal/optical"
+	"ros/internal/raid"
+	"ros/internal/sim"
+	"ros/internal/udf"
+)
+
+// benchExperiment runs fn b.N times and publishes selected metrics.
+func benchExperiment(b *testing.B, fn func() (experiments.Result, error), metrics ...string) {
+	b.Helper()
+	var last experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, name := range metrics {
+		for _, m := range last.Metrics {
+			if m.Name == name {
+				b.ReportMetric(m.Measured, "meas_"+metricUnitTag(name, m.Unit))
+				b.ReportMetric(m.Paper, "paper_"+metricUnitTag(name, m.Unit))
+			}
+		}
+	}
+}
+
+// metricUnitTag builds a compact metric tag.
+func metricUnitTag(name, unit string) string {
+	tag := ""
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			tag += string(r)
+		case r == ' ' || r == ',' || r == '(' || r == ')':
+			// skip
+		}
+		if len(tag) >= 24 {
+			break
+		}
+	}
+	return tag
+}
+
+// --- Table benches ---
+
+// BenchmarkTable1ReadLocations regenerates Table 1 (read latency ladder).
+func BenchmarkTable1ReadLocations(b *testing.B) {
+	benchExperiment(b, experiments.Table1,
+		"disk bucket", "disc in optical drive", "array in roller, free drives",
+		"array in roller, drives idle (swap)")
+}
+
+// BenchmarkTable2DriveRead regenerates Table 2 (drive read speeds).
+func BenchmarkTable2DriveRead(b *testing.B) {
+	benchExperiment(b, experiments.Table2,
+		"25GB single-drive read", "25GB 12-drive aggregate read",
+		"100GB single-drive read", "100GB 12-drive aggregate read")
+}
+
+// BenchmarkTable3Mechanical regenerates Table 3 (load/unload latency).
+func BenchmarkTable3Mechanical(b *testing.B) {
+	benchExperiment(b, experiments.Table3,
+		"load, uppermost layer", "unload, uppermost layer",
+		"load, lowest layer", "unload, lowest layer")
+}
+
+// --- Figure benches ---
+
+// BenchmarkFig6Throughput regenerates Fig 6 (five-stack normalized
+// throughput). The slowest experiment (~10 s host per run).
+func BenchmarkFig6Throughput(b *testing.B) {
+	benchExperiment(b, experiments.Fig6,
+		"samba+OLFS read absolute", "samba+OLFS write absolute")
+}
+
+// BenchmarkFig7OpBreakdown regenerates Fig 7 (internal op latencies).
+func BenchmarkFig7OpBreakdown(b *testing.B) {
+	benchExperiment(b, experiments.Fig7,
+		"OLFS 1KB write latency", "OLFS 1KB read latency",
+		"samba+OLFS 1KB write latency", "samba+OLFS 1KB read latency")
+}
+
+// BenchmarkFig8Burn25Single regenerates Fig 8 (25GB burn curve).
+func BenchmarkFig8Burn25Single(b *testing.B) {
+	benchExperiment(b, experiments.Fig8,
+		"total recording time", "average recording speed")
+}
+
+// BenchmarkFig9Burn25Array regenerates Fig 9 (12-drive aggregate burn).
+func BenchmarkFig9Burn25Array(b *testing.B) {
+	benchExperiment(b, experiments.Fig9,
+		"array recording time", "average aggregate throughput", "peak aggregate throughput")
+}
+
+// BenchmarkFig10Burn100 regenerates Fig 10 (100GB burn curve).
+func BenchmarkFig10Burn100(b *testing.B) {
+	benchExperiment(b, experiments.Fig10,
+		"total recording time", "average recording speed")
+}
+
+// --- In-text experiment benches ---
+
+// BenchmarkMVSize regenerates the §4.2 metadata sizing numbers.
+func BenchmarkMVSize(b *testing.B) {
+	benchExperiment(b, experiments.MVSize, "MV for 1B files + 1B dirs")
+}
+
+// BenchmarkMVRecovery regenerates the §4.2 recover-MV-from-discs run.
+func BenchmarkMVRecovery(b *testing.B) {
+	benchExperiment(b, experiments.MVRecovery, "recovery time extrapolated to 120 discs")
+}
+
+// BenchmarkTCO regenerates the §2.1 cost model.
+func BenchmarkTCO(b *testing.B) {
+	benchExperiment(b, experiments.TCO, "optical TCO", "HDD/optical ratio", "tape/optical ratio")
+}
+
+// BenchmarkPower regenerates the §5.1 power envelope.
+func BenchmarkPower(b *testing.B) {
+	benchExperiment(b, experiments.Power, "idle power", "peak power")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationNoBuffer: tiered buffer vs synchronous burn.
+func BenchmarkAblationNoBuffer(b *testing.B) {
+	benchExperiment(b, experiments.AblationTieredBuffer,
+		"buffered write ack", "synchronous-burn write ack")
+}
+
+// BenchmarkAblationFuseChunk: big_writes vs 4KB flushes.
+func BenchmarkAblationFuseChunk(b *testing.B) {
+	benchExperiment(b, experiments.AblationFuseChunk, "big_writes speedup")
+}
+
+// BenchmarkAblationParity is the delayed-parity path: parity generation cost
+// per image set, measured inside the read-policy/burn pipeline ablation.
+func BenchmarkAblationReadPolicy(b *testing.B) {
+	benchExperiment(b, experiments.AblationReadPolicy,
+		"read latency, wait policy", "read latency, interrupt policy")
+}
+
+// BenchmarkAblationForepart: first-byte latency with/without forepart.
+func BenchmarkAblationForepart(b *testing.B) {
+	benchExperiment(b, experiments.AblationForepart,
+		"first byte with forepart", "first byte without forepart")
+}
+
+// BenchmarkAblationReadCache: RC hit vs mechanical re-fetch.
+func BenchmarkAblationReadCache(b *testing.B) {
+	benchExperiment(b, experiments.AblationReadCache,
+		"re-read with RC (buffer hit)", "re-read without RC (mechanical fetch)")
+}
+
+// BenchmarkAblationUniquePath: image-space cost of redundant directories.
+func BenchmarkAblationUniquePath(b *testing.B) {
+	benchExperiment(b, experiments.AblationUniquePath, "directory redundancy overhead")
+}
+
+// BenchmarkAblationOverlap: serial vs overlapped mechanical scheduling.
+func BenchmarkAblationOverlap(b *testing.B) {
+	benchExperiment(b, experiments.AblationOverlapScheduling, "saving")
+}
+
+// BenchmarkAblationStreams: shared vs isolated RAID volumes under
+// concurrent streams.
+func BenchmarkAblationStreams(b *testing.B) {
+	benchExperiment(b, experiments.AblationStreamIsolation, "interference slowdown")
+}
+
+// BenchmarkAblationDirectWrite: §4.8 direct-writing mode vs the NAS stack.
+func BenchmarkAblationDirectWrite(b *testing.B) {
+	benchExperiment(b, experiments.AblationDirectWrite, "direct-writing ingest throughput")
+}
+
+// BenchmarkSustainedIngest: steady-state sustainability sweep (derived).
+func BenchmarkSustainedIngest(b *testing.B) {
+	benchExperiment(b, experiments.SustainedIngest, "max data drain, 2 drive groups")
+}
+
+// --- Substrate micro-benchmarks (host-time performance of the library) ---
+
+// BenchmarkSimEngine measures raw DES event throughput.
+func BenchmarkSimEngine(b *testing.B) {
+	env := sim.NewEnv()
+	env.Go("ticker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkRAID5Write measures host cost of parity-maintaining writes.
+func BenchmarkRAID5Write(b *testing.B) {
+	env := sim.NewEnv()
+	devs := make([]blockdev.Device, 5)
+	for i := range devs {
+		devs[i] = blockdev.New(env, 1<<30, blockdev.SSDProfile())
+	}
+	arr, err := raid.New(env, raid.RAID5, devs, 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	env.Go("writer", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			off := (int64(i) % 512) << 20
+			if err := arr.WriteAt(p, buf, off); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	env.Run()
+}
+
+// BenchmarkUDFWriteFile measures host cost of UDF file creation.
+func BenchmarkUDFWriteFile(b *testing.B) {
+	env := sim.NewEnv()
+	disk := blockdev.New(env, 1<<31, blockdev.SSDProfile())
+	data := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	env.Go("writer", func(p *sim.Proc) {
+		vol, err := udf.Format(p, disk, [16]byte{1}, "bench")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			if err := vol.WriteFile(p, fmt.Sprintf("/d%d/f%d", i%50, i), data); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	env.Run()
+}
+
+// BenchmarkBurn25GB measures host cost of simulating one full 25 GB burn
+// (675 virtual seconds).
+func BenchmarkBurn25GB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		dr := optical.NewDrive(env, "d0", nil)
+		disc := optical.NewDisc("x", optical.Media25)
+		env.Go("t", func(p *sim.Proc) {
+			if err := dr.Load(p, disc); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := dr.Burn(p, nil, optical.BurnOptions{}); err != nil {
+				b.Error(err)
+			}
+		})
+		env.Run()
+	}
+}
+
+// BenchmarkOLFSWriteSmall measures the full OLFS write path for 4 KB files.
+func BenchmarkOLFSWriteSmall(b *testing.B) {
+	sys, err := New(Options{BucketBytes: 64 << 20, DisableAutoBurn: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4<<10)
+	b.SetBytes(4 << 10)
+	b.ResetTimer()
+	err = sys.Do(func(p *Proc) error {
+		for i := 0; i < b.N; i++ {
+			if err := sys.FS.WriteFile(p, fmt.Sprintf("/bench/f%07d", i), data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

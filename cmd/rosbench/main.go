@@ -1,0 +1,129 @@
+// Command rosbench regenerates the paper's evaluation: every table and
+// figure (§5), the in-text experiments, and the design-choice ablations,
+// printing paper-vs-measured rows for each.
+//
+// Usage:
+//
+//	rosbench -list
+//	rosbench -exp all            # tables 1-3, figures 6-10, extras
+//	rosbench -exp table1
+//	rosbench -exp ablations      # the design-choice ablation suite
+//	rosbench -exp fig9 -exp fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ros/internal/experiments"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+var registry = map[string]func() (experiments.Result, error){
+	"table1":             experiments.Table1,
+	"table2":             experiments.Table2,
+	"table3":             experiments.Table3,
+	"fig6":               experiments.Fig6,
+	"fig7":               experiments.Fig7,
+	"fig8":               experiments.Fig8,
+	"fig9":               experiments.Fig9,
+	"fig10":              experiments.Fig10,
+	"mvsize":             experiments.MVSize,
+	"mvrecover":          experiments.MVRecovery,
+	"tco":                experiments.TCO,
+	"power":              experiments.Power,
+	"reliability":        experiments.Reliability,
+	"ablate-buffer":      experiments.AblationTieredBuffer,
+	"ablate-fusechunk":   experiments.AblationFuseChunk,
+	"ablate-readpolicy":  experiments.AblationReadPolicy,
+	"ablate-forepart":    experiments.AblationForepart,
+	"ablate-readcache":   experiments.AblationReadCache,
+	"ablate-uniquepath":  experiments.AblationUniquePath,
+	"ablate-overlap":     experiments.AblationOverlapScheduling,
+	"ablate-streams":     experiments.AblationStreamIsolation,
+	"ablate-directwrite": experiments.AblationDirectWrite,
+	"sustained":          experiments.SustainedIngest,
+}
+
+func main() {
+	var exps multiFlag
+	flag.Var(&exps, "exp", "experiment id, 'all' (paper suite) or 'ablations' (repeatable)")
+	list := flag.Bool("list", false, "list experiment ids")
+	plot := flag.Bool("plot", true, "render figure series as ASCII charts")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(registry))
+		for id := range registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println("experiments:")
+		for _, id := range ids {
+			fmt.Println("  " + id)
+		}
+		fmt.Println("  all        (tables + figures + extras)")
+		fmt.Println("  ablations  (design-choice ablation suite)")
+		return
+	}
+	if len(exps) == 0 {
+		exps = multiFlag{"all"}
+	}
+
+	failed := false
+	for _, id := range exps {
+		switch id {
+		case "all":
+			results, err := experiments.All()
+			for _, r := range results {
+				fmt.Println(r)
+				if *plot {
+					fmt.Print(r.RenderPlots())
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				failed = true
+			}
+		case "ablations":
+			results, err := experiments.Ablations()
+			for _, r := range results {
+				fmt.Println(r)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				failed = true
+			}
+		default:
+			fn, ok := registry[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				failed = true
+				continue
+			}
+			start := time.Now()
+			r, err := fn()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+				failed = true
+				continue
+			}
+			fmt.Println(r)
+			if *plot {
+				fmt.Print(r.RenderPlots())
+			}
+			fmt.Printf("(host time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

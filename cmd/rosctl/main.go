@@ -1,0 +1,309 @@
+// Command rosctl is the maintenance interface (the paper's MI module): an
+// interactive shell over a simulated ROS rack. It assembles a System and
+// executes commands against it, advancing virtual time as operations run.
+//
+// Usage:
+//
+//	rosctl                      # interactive shell on a demo-sized rack
+//	echo "write /a 1MB
+//	sync
+//	burn
+//	read /a
+//	status" | rosctl
+//
+// Commands:
+//
+//	write <path> <size>     write a file of synthetic data (size like 4KB, 2MB)
+//	read <path>             read a file and report latency
+//	stat <path>             show index metadata (size, version, parts)
+//	ls <path>               list a directory
+//	rm <path>               unlink a namespace entry
+//	sync                    seal the current bucket
+//	burn                    seal + burn all sealed images, wait for completion
+//	scrub <tray>            verify cross-disc parity of a burned tray (r0/L84/S0)
+//	trays                   show used/failed trays
+//	status                  counters, drive states, buffer occupancy
+//	power                   current modeled power draw
+//	clock                   virtual time
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ros"
+	"ros/internal/image"
+	"ros/internal/optical"
+	"ros/internal/power"
+	"ros/internal/rack"
+	"ros/internal/sim"
+)
+
+func main() {
+	sys, err := ros.New(ros.Options{BucketBytes: 4 << 20, DisableAutoBurn: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assemble:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ROS maintenance interface — 1 roller, 6120 discs, 24 drives. 'help' for commands.")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("ros> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "quit" || fields[0] == "exit" {
+			return
+		}
+		runCommand(sys, fields)
+	}
+}
+
+// runCommand executes one command as a simulation process.
+func runCommand(sys *ros.System, fields []string) {
+	err := sys.Do(func(p *sim.Proc) error {
+		return dispatch(sys, p, fields)
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+}
+
+func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
+	fs := sys.FS
+	switch fields[0] {
+	case "help":
+		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status power clock quit")
+	case "ingest":
+		// Direct-writing mode (§4.8): wire-speed staging, async delivery.
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: ingest <path> <size>")
+		}
+		n, err := parseSize(fields[2])
+		if err != nil {
+			return err
+		}
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*11 + 3)
+		}
+		start := p.Now()
+		if err := fs.DirectIngest(p, fields[1], data); err != nil {
+			return err
+		}
+		fmt.Printf("staged %s (%d bytes) in %v; delivery continues in background\n",
+			fields[1], n, p.Now()-start)
+	case "drain":
+		start := p.Now()
+		if err := fs.DirectDrain(p); err != nil {
+			return err
+		}
+		fmt.Printf("staging drained in %v\n", p.Now()-start)
+	case "repair":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: repair r<r>/L<l>/S<s>")
+		}
+		var id rack.TrayID
+		if _, err := fmt.Sscanf(fields[1], "r%d/L%d/S%d", &id.Roller, &id.Layer, &id.Slot); err != nil {
+			return fmt.Errorf("bad tray id %q", fields[1])
+		}
+		rep, err := fs.ScrubAndRepair(p, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrub: %d bad strips; bad discs %v; %d image(s) recovered\n",
+			len(rep.Scrub.BadStrips), rep.BadDiscs, len(rep.Recovered))
+		if rep.ReBurn != nil {
+			if _, err := rep.ReBurn.Wait(p); err != nil {
+				return fmt.Errorf("re-burn: %w", err)
+			}
+			fmt.Println("recovered images re-burned to a fresh array")
+		}
+	case "snapshot":
+		seq, err := fs.BurnMVSnapshot(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("MV snapshot %d written into the namespace (burns with the next array)\n", seq)
+	case "clock":
+		fmt.Println("virtual time:", p.Now())
+	case "write":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: write <path> <size>")
+		}
+		n, err := parseSize(fields[2])
+		if err != nil {
+			return err
+		}
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*7 + 1)
+		}
+		start := p.Now()
+		if err := fs.WriteFile(p, fields[1], data); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes) in %v\n", fields[1], n, p.Now()-start)
+	case "read":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: read <path>")
+		}
+		start := p.Now()
+		data, err := fs.ReadFile(p, fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("read %d bytes in %v\n", len(data), p.Now()-start)
+	case "stat":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: stat <path>")
+		}
+		ix, err := fs.MV.Stat(p, fields[1])
+		if err != nil {
+			return err
+		}
+		if ix.Dir {
+			fmt.Println(ix.Path, "(directory)")
+			return nil
+		}
+		for _, e := range ix.Entries {
+			loc := "buffer"
+			if len(e.Parts) > 0 {
+				if addr, ok := fs.Cat.Locate(e.Parts[0]); ok {
+					loc = addr.String()
+				}
+			}
+			fmt.Printf("  v%d: %d bytes, %d part(s), first at %s\n", e.Version, e.Size, len(e.Parts), loc)
+		}
+	case "ls":
+		path := "/"
+		if len(fields) > 1 {
+			path = fields[1]
+		}
+		des, err := fs.ReadDir(p, path)
+		if err != nil {
+			return err
+		}
+		for _, de := range des {
+			kind := "file"
+			if de.IsDir {
+				kind = "dir "
+			}
+			fmt.Printf("  %s %10d  %s\n", kind, de.Size, de.Name)
+		}
+	case "rm":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: rm <path>")
+		}
+		return fs.Unlink(p, fields[1])
+	case "sync":
+		return fs.Sync(p)
+	case "burn":
+		start := p.Now()
+		c, err := fs.FlushAndBurn(p)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Wait(p); err != nil {
+			return err
+		}
+		fmt.Printf("burned in %v (virtual)\n", p.Now()-start)
+	case "scrub":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: scrub r<r>/L<l>/S<s>")
+		}
+		var id rack.TrayID
+		if _, err := fmt.Sscanf(fields[1], "r%d/L%d/S%d", &id.Roller, &id.Layer, &id.Slot); err != nil {
+			return fmt.Errorf("bad tray id %q", fields[1])
+		}
+		rep, err := fs.ScrubTray(p, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scrubbed %v: %d bytes/disc checked, %d bad strips\n",
+			rep.Tray, rep.Checked, len(rep.BadStrips))
+	case "trays":
+		used, failed := 0, 0
+		for k, st := range fs.Cat.DA {
+			switch st {
+			case image.DAUsed:
+				used++
+				fmt.Println("  used  ", k)
+			case image.DAFailed:
+				failed++
+				fmt.Println("  failed", k)
+			}
+		}
+		fmt.Printf("  %d used, %d failed, %d images on disc\n", used, failed, len(fs.Cat.DIL))
+	case "status":
+		st := sys.Stats()
+		fmt.Printf("  files: %d written, %d read; bytes: %d written, %d read\n",
+			st.FilesWritten, st.FilesRead, st.BytesWritten, st.BytesRead)
+		fmt.Printf("  burns: %d tasks; fetches: %d; cache: %d hits / %d misses\n",
+			st.BurnTasks, st.FetchTasks, st.CacheHits, st.CacheMisses)
+		fmt.Printf("  mechanics: %d loads, %d unloads; discs resident: %d\n",
+			st.Loads, st.Unloads, st.TotalDiscs)
+		for gi, g := range sys.Library.Groups {
+			src := "empty"
+			if g.Source != nil {
+				src = g.Source.String()
+			}
+			states := make([]string, 0, len(g.Drives))
+			for _, d := range g.Drives {
+				states = append(states, d.State().String()[:1])
+			}
+			fmt.Printf("  group %d [%s]: %s\n", gi, src, strings.Join(states, ""))
+		}
+		free := sys.FS.Buckets.FreeSlots()
+		fmt.Printf("  buffer: %d/%d slots free\n", free, len(sys.FS.Buckets.Slots()))
+	case "power":
+		burning, idleDr := 0, 0
+		for _, g := range sys.Library.Groups {
+			for _, d := range g.Drives {
+				switch d.State() {
+				case optical.StateBurning:
+					burning++
+				case optical.StateIdle:
+					idleDr++
+				}
+			}
+		}
+		cfg := power.PrototypeConfig()
+		draw := cfg.Draw(power.State{BurningDrives: burning, IdleDrives: idleDr})
+		fmt.Printf("  modeled draw: %.0f W (idle %.0f W, peak %.0f W)\n", draw, cfg.Idle(), cfg.Peak())
+	default:
+		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return nil
+}
+
+// parseSize parses 512, 4KB, 2MB, 1GB.
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.ParseInt(u, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

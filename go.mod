@@ -1,0 +1,3 @@
+module ros
+
+go 1.22

@@ -1,0 +1,242 @@
+// Package blockdev provides simulated block devices (HDD, SSD) that store
+// real bytes while charging virtual time for each access through a simple
+// seek + transfer performance model.
+//
+// Devices are sparse: a 4 TB disk allocates host memory only for chunks that
+// have been written, so a PB-scale ROS rack fits in a test process.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ros/internal/sim"
+)
+
+// Common device errors.
+var (
+	ErrOutOfRange = errors.New("blockdev: access beyond device size")
+	ErrFailed     = errors.New("blockdev: device failed")
+	ErrBadSector  = errors.New("blockdev: unreadable sector")
+)
+
+// Device is the interface ROS tiers are built on. Read/Write charge virtual
+// time on the calling process and move real bytes.
+type Device interface {
+	// ReadAt fills buf from the device starting at off.
+	ReadAt(p *sim.Proc, buf []byte, off int64) error
+	// WriteAt stores buf to the device starting at off.
+	WriteAt(p *sim.Proc, buf []byte, off int64) error
+	// Size returns the device capacity in bytes.
+	Size() int64
+}
+
+// Profile describes a device's performance envelope.
+type Profile struct {
+	Name          string
+	SeqThroughput float64       // bytes/second for sequential transfer
+	SeekTime      time.Duration // charged when the access is not sequential
+	PerOpOverhead time.Duration // controller/command overhead per request
+	QueueDepth    int           // concurrent requests serviced (min 1)
+}
+
+// HDDProfile models the paper's 4 TB 150 MB/s hard disks.
+func HDDProfile() Profile {
+	return Profile{
+		Name:          "hdd",
+		SeqThroughput: 150e6,
+		SeekTime:      8 * time.Millisecond,
+		PerOpOverhead: 100 * time.Microsecond,
+		QueueDepth:    1,
+	}
+}
+
+// SSDProfile models the paper's 240 GB SATA SSDs used for the metadata
+// volume.
+func SSDProfile() Profile {
+	return Profile{
+		Name:          "ssd",
+		SeqThroughput: 500e6,
+		SeekTime:      50 * time.Microsecond,
+		PerOpOverhead: 20 * time.Microsecond,
+		QueueDepth:    8,
+	}
+}
+
+const chunkSize = 64 << 10 // sparse allocation granularity
+
+// Disk is an in-memory sparse block device with a performance model. It also
+// supports fault injection: whole-device failure and per-sector latent
+// errors, which the RAID layer and the disc scrubber exercise.
+type Disk struct {
+	env     *sim.Env
+	profile Profile
+	size    int64
+	chunks  map[int64][]byte
+	svc     *sim.Resource // serializes access per QueueDepth
+	lastEnd int64         // detects sequential access
+	failed  bool
+	badSecs map[int64]bool // offsets (sector-aligned) that return ErrBadSector
+
+	// Stats counters.
+	BytesRead    int64
+	BytesWritten int64
+	Ops          int64
+}
+
+// New creates a disk of the given size with the given profile.
+func New(env *sim.Env, size int64, profile Profile) *Disk {
+	qd := profile.QueueDepth
+	if qd < 1 {
+		qd = 1
+	}
+	return &Disk{
+		env:     env,
+		profile: profile,
+		size:    size,
+		chunks:  make(map[int64][]byte),
+		svc:     sim.NewResource(env, qd),
+		badSecs: make(map[int64]bool),
+		lastEnd: -1,
+	}
+}
+
+// Size returns the device capacity in bytes.
+func (d *Disk) Size() int64 { return d.size }
+
+// Profile returns the device's performance profile.
+func (d *Disk) Profile() Profile { return d.profile }
+
+// Fail marks the device failed; all subsequent I/O returns ErrFailed.
+func (d *Disk) Fail() { d.failed = true }
+
+// Failed reports whether the device has been failed.
+func (d *Disk) Failed() bool { return d.failed }
+
+// Repair clears a whole-device failure (contents are preserved; a real
+// replacement would be a fresh New disk).
+func (d *Disk) Repair() { d.failed = false }
+
+// CorruptSector marks the 4 KB-aligned sector containing off unreadable.
+func (d *Disk) CorruptSector(off int64) { d.badSecs[off&^4095] = true }
+
+// HealSector clears a latent sector error.
+func (d *Disk) HealSector(off int64) { delete(d.badSecs, off&^4095) }
+
+// nearWindow is the distance (bytes) within which a non-contiguous access is
+// charged a short settle time rather than a full seek: drive readahead and
+// elevator scheduling absorb short hops, which matters for stripe-interleaved
+// RAID access.
+const nearWindow = 2 << 20
+
+// transferTime computes the virtual-time cost of moving n bytes starting at
+// off, accounting for sequentiality.
+func (d *Disk) transferTime(off int64, n int) time.Duration {
+	t := d.profile.PerOpOverhead
+	if off != d.lastEnd {
+		dist := off - d.lastEnd
+		if dist < 0 {
+			dist = -dist
+		}
+		if d.lastEnd >= 0 && dist <= nearWindow {
+			t += d.profile.SeekTime / 16 // settle, not a full stroke
+		} else {
+			t += d.profile.SeekTime
+		}
+	}
+	if d.profile.SeqThroughput > 0 {
+		t += time.Duration(float64(n) / d.profile.SeqThroughput * float64(time.Second))
+	}
+	return t
+}
+
+func (d *Disk) checkRange(buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > d.size {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, len(buf), d.size)
+	}
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *Disk) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	if err := d.checkRange(buf, off); err != nil {
+		return err
+	}
+	d.svc.Acquire(p)
+	defer d.svc.Release()
+	if d.failed {
+		return ErrFailed
+	}
+	for s := off &^ 4095; s < off+int64(len(buf)); s += 4096 {
+		if d.badSecs[s] {
+			return fmt.Errorf("%w: offset %d", ErrBadSector, s)
+		}
+	}
+	p.Sleep(d.transferTime(off, len(buf)))
+	d.lastEnd = off + int64(len(buf))
+	d.BytesRead += int64(len(buf))
+	d.Ops++
+	d.copyOut(buf, off)
+	return nil
+}
+
+// WriteAt implements Device.
+func (d *Disk) WriteAt(p *sim.Proc, buf []byte, off int64) error {
+	if err := d.checkRange(buf, off); err != nil {
+		return err
+	}
+	d.svc.Acquire(p)
+	defer d.svc.Release()
+	if d.failed {
+		return ErrFailed
+	}
+	p.Sleep(d.transferTime(off, len(buf)))
+	d.lastEnd = off + int64(len(buf))
+	d.BytesWritten += int64(len(buf))
+	d.Ops++
+	d.copyIn(buf, off)
+	return nil
+}
+
+// copyOut copies stored bytes (zero for never-written chunks) into buf.
+func (d *Disk) copyOut(buf []byte, off int64) {
+	for n := 0; n < len(buf); {
+		ci := (off + int64(n)) / chunkSize
+		co := int((off + int64(n)) % chunkSize)
+		run := chunkSize - co
+		if run > len(buf)-n {
+			run = len(buf) - n
+		}
+		if c, ok := d.chunks[ci]; ok {
+			copy(buf[n:n+run], c[co:co+run])
+		} else {
+			for i := n; i < n+run; i++ {
+				buf[i] = 0
+			}
+		}
+		n += run
+	}
+}
+
+// copyIn stores buf into the sparse chunk map.
+func (d *Disk) copyIn(buf []byte, off int64) {
+	for n := 0; n < len(buf); {
+		ci := (off + int64(n)) / chunkSize
+		co := int((off + int64(n)) % chunkSize)
+		run := chunkSize - co
+		if run > len(buf)-n {
+			run = len(buf) - n
+		}
+		c, ok := d.chunks[ci]
+		if !ok {
+			c = make([]byte, chunkSize)
+			d.chunks[ci] = c
+		}
+		copy(c[co:co+run], buf[n:n+run])
+		n += run
+	}
+}
+
+// AllocatedBytes returns the host memory actually backing this sparse disk.
+func (d *Disk) AllocatedBytes() int64 { return int64(len(d.chunks)) * chunkSize }

@@ -1,0 +1,227 @@
+// Package blockgw implements a block-level volume over OLFS — the last §4.2
+// extension surface ("OLFS can also provide a block-level interface via the
+// iSCSI protocol").
+//
+// A virtual volume is stored as fixed-size extent files under
+// /blockvols/<name>/extent-NNNNNN; unwritten extents read as zeros, writes
+// do read-modify-write on the covering extents (each rewrite is a new OLFS
+// version, bounded by MV's 15-entry ring), and a META file records the
+// volume geometry. Everything beneath — tiering, parity, burning, disc
+// recovery — applies to block volumes exactly as it does to files.
+package blockgw
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"ros/internal/olfs"
+	"ros/internal/sim"
+	"ros/internal/vfs"
+)
+
+// Root is the namespace subtree holding block volumes.
+const Root = "/blockvols"
+
+// DefaultExtentSize is the per-extent file size.
+const DefaultExtentSize = 4 << 20
+
+// Gateway errors.
+var (
+	ErrNoSuchVolume = errors.New("blockgw: no such volume")
+	ErrVolumeExists = errors.New("blockgw: volume exists")
+	ErrOutOfRange   = errors.New("blockgw: access beyond volume size")
+	ErrBadGeometry  = errors.New("blockgw: invalid volume geometry")
+)
+
+// meta is the persisted volume descriptor.
+type meta struct {
+	Size       int64 `json:"size"`
+	ExtentSize int   `json:"extent_size"`
+}
+
+// Volume is an open block volume. It satisfies the same Backend shape as the
+// simulated disks (ReadAt/WriteAt/Size with a sim process), so higher-level
+// consumers — including another filesystem — can sit on top of it.
+type Volume struct {
+	fs   *olfs.FS
+	name string
+	m    meta
+
+	// Reads/Writes counters (diagnostics).
+	Reads, Writes int64
+}
+
+func dir(name string) string      { return Root + "/" + name }
+func metaPath(name string) string { return dir(name) + "/META" }
+func extentPath(name string, i int64) string {
+	return fmt.Sprintf("%s/extent-%06d", dir(name), i)
+}
+
+// Create provisions a new volume of size bytes (thin: extents materialize on
+// first write).
+func Create(p *sim.Proc, fs *olfs.FS, name string, size int64, extentSize int) (*Volume, error) {
+	if name == "" || strings.ContainsAny(name, "/%") {
+		return nil, fmt.Errorf("blockgw: bad volume name %q", name)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: size %d", ErrBadGeometry, size)
+	}
+	if extentSize <= 0 {
+		extentSize = DefaultExtentSize
+	}
+	if _, err := fs.Stat(p, metaPath(name)); err == nil {
+		return nil, fmt.Errorf("%w: %s", ErrVolumeExists, name)
+	}
+	m := meta{Size: size, ExtentSize: extentSize}
+	b, err := json.Marshal(&m)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.WriteFile(p, metaPath(name), b); err != nil {
+		return nil, err
+	}
+	return &Volume{fs: fs, name: name, m: m}, nil
+}
+
+// Open attaches to an existing volume.
+func Open(p *sim.Proc, fs *olfs.FS, name string) (*Volume, error) {
+	b, err := fs.ReadFile(p, metaPath(name))
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotFound) || strings.Contains(err.Error(), "no such") {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchVolume, name)
+		}
+		return nil, err
+	}
+	var m meta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%w: corrupt META: %v", ErrBadGeometry, err)
+	}
+	if m.Size <= 0 || m.ExtentSize <= 0 {
+		return nil, ErrBadGeometry
+	}
+	return &Volume{fs: fs, name: name, m: m}, nil
+}
+
+// Size returns the volume size in bytes.
+func (v *Volume) Size() int64 { return v.m.Size }
+
+// ExtentSize returns the extent file size.
+func (v *Volume) ExtentSize() int { return v.m.ExtentSize }
+
+func (v *Volume) check(buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > v.m.Size {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, len(buf), v.m.Size)
+	}
+	return nil
+}
+
+// readExtent loads extent i (zeros if never written).
+func (v *Volume) readExtent(p *sim.Proc, i int64) ([]byte, error) {
+	data, err := v.fs.ReadFile(p, extentPath(v.name, i))
+	switch {
+	case err == nil:
+		if len(data) < v.m.ExtentSize {
+			full := make([]byte, v.m.ExtentSize)
+			copy(full, data)
+			data = full
+		}
+		return data, nil
+	case errors.Is(err, vfs.ErrNotFound) || strings.Contains(err.Error(), "no such"):
+		return make([]byte, v.m.ExtentSize), nil
+	default:
+		return nil, err
+	}
+}
+
+// ReadAt fills buf from the volume at off.
+func (v *Volume) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	if err := v.check(buf, off); err != nil {
+		return err
+	}
+	es := int64(v.m.ExtentSize)
+	for n := 0; n < len(buf); {
+		ei := (off + int64(n)) / es
+		eo := int((off + int64(n)) % es)
+		run := int(es) - eo
+		if run > len(buf)-n {
+			run = len(buf) - n
+		}
+		data, err := v.readExtent(p, ei)
+		if err != nil {
+			return err
+		}
+		copy(buf[n:n+run], data[eo:eo+run])
+		n += run
+	}
+	v.Reads++
+	return nil
+}
+
+// WriteAt stores buf at off (read-modify-write on the covering extents).
+func (v *Volume) WriteAt(p *sim.Proc, buf []byte, off int64) error {
+	if err := v.check(buf, off); err != nil {
+		return err
+	}
+	es := int64(v.m.ExtentSize)
+	for n := 0; n < len(buf); {
+		ei := (off + int64(n)) / es
+		eo := int((off + int64(n)) % es)
+		run := int(es) - eo
+		if run > len(buf)-n {
+			run = len(buf) - n
+		}
+		var data []byte
+		if eo == 0 && run == int(es) {
+			// Full-extent write: no read needed.
+			data = buf[n : n+run]
+		} else {
+			ext, err := v.readExtent(p, ei)
+			if err != nil {
+				return err
+			}
+			copy(ext[eo:eo+run], buf[n:n+run])
+			data = ext
+		}
+		if err := v.fs.WriteFile(p, extentPath(v.name, ei), data); err != nil {
+			return err
+		}
+		n += run
+	}
+	v.Writes++
+	return nil
+}
+
+// List returns the provisioned volume names.
+func List(p *sim.Proc, fs *olfs.FS) ([]string, error) {
+	des, err := fs.ReadDir(p, Root)
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotFound) || strings.Contains(err.Error(), "no such") {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if de.IsDir {
+			out = append(out, de.Name)
+		}
+	}
+	return out, nil
+}
+
+// Delete removes a volume's namespace entries (burned extents remain on
+// WORM discs).
+func Delete(p *sim.Proc, fs *olfs.FS, name string) error {
+	des, err := fs.ReadDir(p, dir(name))
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchVolume, name)
+	}
+	for _, de := range des {
+		if err := fs.Unlink(p, dir(name)+"/"+de.Name); err != nil {
+			return err
+		}
+	}
+	return fs.Unlink(p, dir(name))
+}

@@ -1,0 +1,302 @@
+package bucket
+
+import (
+	"errors"
+	"testing"
+
+	"ros/internal/blockdev"
+	"ros/internal/sim"
+)
+
+const cap1 = 1 << 20 // 1 MB buckets for tests
+
+func newMgr(t *testing.T, env *sim.Env, slots int) *Manager {
+	t.Helper()
+	buf := blockdev.New(env, int64(slots)*cap1, blockdev.SSDProfile())
+	m, err := NewManager(env, buf, cap1, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func inSim(t *testing.T, env *sim.Env, fn func(p *sim.Proc)) {
+	t.Helper()
+	env.Go("test", fn)
+	env.Run()
+	if env.Deadlocked() {
+		t.Fatal("simulation deadlocked")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 2)
+	inSim(t, env, func(p *sim.Proc) {
+		b, err := m.Open(p)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if b.State() != StateOpen || b.ID.IsZero() || b.Vol == nil {
+			t.Errorf("opened bucket: %+v", b)
+		}
+		if err := b.Vol.WriteFile(p, "/data/f", []byte("payload")); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		if err := m.Seal(p, b); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		if b.State() != StateFilled || !b.Vol.Finalized() {
+			t.Errorf("sealed bucket state: %v", b.State())
+		}
+		if err := m.MarkBurning(b); err != nil {
+			t.Fatalf("MarkBurning: %v", err)
+		}
+		if err := m.MarkBurned(b); err != nil {
+			t.Fatalf("MarkBurned: %v", err)
+		}
+		// Burned image still resident and readable (read cache).
+		got, ok := m.Resident(b.ID)
+		if !ok || got != b {
+			t.Error("burned image not resident")
+		}
+		data, err := b.Vol.ReadFile(p, "/data/f")
+		if err != nil || string(data) != "payload" {
+			t.Errorf("cached read: %q %v", data, err)
+		}
+		if err := m.Recycle(p, b); err != nil {
+			t.Fatalf("Recycle: %v", err)
+		}
+		if b.State() != StateFree {
+			t.Errorf("recycled state = %v", b.State())
+		}
+		if _, ok := m.Resident(b.ID); ok {
+			t.Error("recycled image still resident")
+		}
+	})
+}
+
+func TestInvalidTransitions(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 1)
+	inSim(t, env, func(p *sim.Proc) {
+		b, _ := m.Open(p)
+		if err := m.MarkBurning(b); !errors.Is(err, ErrBadState) {
+			t.Errorf("burn open bucket: %v", err)
+		}
+		if err := m.Recycle(p, b); !errors.Is(err, ErrBadState) {
+			t.Errorf("recycle open bucket: %v", err)
+		}
+		_ = m.Seal(p, b)
+		if err := m.Seal(p, b); !errors.Is(err, ErrBadState) {
+			t.Errorf("double seal: %v", err)
+		}
+	})
+}
+
+func TestBurnFailedReturnsToFilled(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 1)
+	inSim(t, env, func(p *sim.Proc) {
+		b, _ := m.Open(p)
+		_ = m.Seal(p, b)
+		_ = m.MarkBurning(b)
+		if err := m.MarkBurnFailed(b); err != nil {
+			t.Fatalf("MarkBurnFailed: %v", err)
+		}
+		if b.State() != StateFilled {
+			t.Errorf("state after failed burn = %v", b.State())
+		}
+		if got := m.FilledUnburned(); len(got) != 1 {
+			t.Errorf("FilledUnburned = %d", len(got))
+		}
+	})
+}
+
+func TestSlotExhaustionAndLRUEviction(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 2)
+	inSim(t, env, func(p *sim.Proc) {
+		b1, _ := m.Open(p)
+		b2, _ := m.Open(p)
+		// No free slot, nothing evictable (both open).
+		if _, err := m.Open(p); !errors.Is(err, ErrNoFreeSlot) {
+			t.Errorf("open with full buffer: %v", err)
+		}
+		// Burn both; b1 accessed more recently than b2.
+		for _, b := range []*Bucket{b1, b2} {
+			_ = m.Seal(p, b)
+			_ = m.MarkBurning(b)
+			_ = m.MarkBurned(b)
+		}
+		m.Touch(b2)
+		p.Sleep(1)
+		m.Touch(b1)
+		id2 := b2.ID
+		// Opening now evicts the LRU burned image (b2).
+		nb, err := m.Open(p)
+		if err != nil {
+			t.Fatalf("open with evictable: %v", err)
+		}
+		if nb.Slot != b2.Slot {
+			t.Errorf("evicted slot %d, want %d (LRU)", nb.Slot, b2.Slot)
+		}
+		if _, ok := m.Resident(id2); ok {
+			t.Error("evicted image still resident")
+		}
+		if m.Evicts != 1 {
+			t.Errorf("Evicts = %d", m.Evicts)
+		}
+	})
+}
+
+func TestRawParitySlot(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 1)
+	inSim(t, env, func(p *sim.Proc) {
+		b, err := m.OpenRaw(p, 512<<10)
+		if err != nil {
+			t.Fatalf("OpenRaw: %v", err)
+		}
+		if !b.Raw || b.Vol != nil || b.Used() != 512<<10 {
+			t.Errorf("raw bucket: %+v", b)
+		}
+		// Raw backends accept parity bytes directly.
+		if err := b.Backend().WriteAt(p, []byte{1, 2, 3}, 0); err != nil {
+			t.Errorf("raw write: %v", err)
+		}
+		if err := m.Seal(p, b); err != nil {
+			t.Fatalf("Seal raw: %v", err)
+		}
+		if _, err := m.OpenRaw(p, 2<<20); err == nil {
+			t.Error("oversized raw slot accepted")
+		}
+	})
+}
+
+func TestDistinctIDs(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 3)
+	inSim(t, env, func(p *sim.Proc) {
+		seen := map[string]bool{}
+		for i := 0; i < 3; i++ {
+			b, err := m.Open(p)
+			if err != nil {
+				t.Fatalf("Open %d: %v", i, err)
+			}
+			if seen[b.ID.String()] {
+				t.Errorf("duplicate ID %v", b.ID)
+			}
+			seen[b.ID.String()] = true
+		}
+	})
+}
+
+func TestBufferTooSmall(t *testing.T) {
+	env := sim.NewEnv()
+	buf := blockdev.New(env, cap1, blockdev.SSDProfile())
+	if _, err := NewManager(env, buf, cap1, 2); err == nil {
+		t.Error("NewManager accepted oversubscribed buffer")
+	}
+}
+
+func TestIndependentBucketNamespaces(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 2)
+	inSim(t, env, func(p *sim.Proc) {
+		b1, _ := m.Open(p)
+		b2, _ := m.Open(p)
+		_ = b1.Vol.WriteFile(p, "/same/path", []byte("one"))
+		_ = b2.Vol.WriteFile(p, "/same/path", []byte("two"))
+		g1, _ := b1.Vol.ReadFile(p, "/same/path")
+		g2, _ := b2.Vol.ReadFile(p, "/same/path")
+		if string(g1) != "one" || string(g2) != "two" {
+			t.Errorf("cross-talk: %q %q", g1, g2)
+		}
+	})
+}
+
+func TestOpenRawEvictsLRU(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 1)
+	inSim(t, env, func(p *sim.Proc) {
+		b, _ := m.Open(p)
+		_ = m.Seal(p, b)
+		_ = m.MarkBurning(b)
+		_ = m.MarkBurned(b)
+		// OpenRaw must evict the burned slot.
+		raw, err := m.OpenRaw(p, 1024)
+		if err != nil {
+			t.Fatalf("OpenRaw with evictable: %v", err)
+		}
+		if !raw.Raw || raw.Slot != b.Slot {
+			t.Errorf("raw bucket: %+v", raw)
+		}
+	})
+}
+
+func TestAdoptRebindsSlot(t *testing.T) {
+	env := sim.NewEnv()
+	m := newMgr(t, env, 2)
+	inSim(t, env, func(p *sim.Proc) {
+		b, _ := m.Open(p)
+		id := b.ID
+		if err := b.Vol.WriteFile(p, "/f", []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		vol := b.Vol
+		// Simulate crash: release the slot bookkeeping, then re-adopt.
+		m.release(b)
+		if _, ok := m.Resident(id); ok {
+			t.Fatal("released bucket still resident")
+		}
+		m.Adopt(b, vol)
+		got, ok := m.Resident(id)
+		if !ok || got != b || got.State() != StateOpen {
+			t.Fatalf("adopt: resident=%v state=%v", ok, b.State())
+		}
+		// Fresh IDs minted after adoption must not collide.
+		nb, err := m.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nb.ID == id {
+			t.Error("ID collision after Adopt")
+		}
+		// A finalized volume adopts as Filled.
+		_ = nb.Vol.Finalize(p)
+		vol2 := nb.Vol
+		m.release(nb)
+		m.Adopt(nb, vol2)
+		if nb.State() != StateFilled {
+			t.Errorf("finalized adopt state = %v", nb.State())
+		}
+	})
+}
+
+func TestConcurrentOpenReservesSlot(t *testing.T) {
+	// Regression for the reservation race: two processes opening
+	// concurrently must never share a slot (Open parks inside Format).
+	env := sim.NewEnv()
+	m := newMgr(t, env, 2)
+	slots := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		env.Go("opener", func(p *sim.Proc) {
+			b, err := m.Open(p)
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			slots <- b.Slot
+		})
+	}
+	env.Run()
+	close(slots)
+	seen := map[int]bool{}
+	for s := range slots {
+		if seen[s] {
+			t.Fatalf("slot %d allocated twice", s)
+		}
+		seen[s] = true
+	}
+}

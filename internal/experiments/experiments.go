@@ -1,0 +1,207 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) plus the in-text experiments, each returning paper-vs-
+// measured metrics. cmd/rosbench prints them; bench_test.go wraps them as
+// testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ros/internal/blockdev"
+	"ros/internal/olfs"
+	"ros/internal/optical"
+	"ros/internal/pagecache"
+	"ros/internal/rack"
+	"ros/internal/raid"
+	"ros/internal/sim"
+)
+
+// Metric is one paper-vs-measured comparison.
+type Metric struct {
+	Name     string
+	Paper    float64
+	Measured float64
+	Unit     string
+}
+
+// Deviation returns the relative deviation from the paper's value.
+func (m Metric) Deviation() float64 {
+	if m.Paper == 0 {
+		return 0
+	}
+	return (m.Measured - m.Paper) / m.Paper
+}
+
+// Point is one sample of a figure's series.
+type Point struct {
+	X, Y float64
+}
+
+// Result is a regenerated experiment.
+type Result struct {
+	ID      string
+	Title   string
+	Metrics []Metric
+	Series  map[string][]Point
+	Notes   string
+}
+
+// String renders the result as an aligned text table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if len(r.Metrics) > 0 {
+		fmt.Fprintf(&b, "%-44s %14s %14s %8s %s\n", "metric", "paper", "measured", "dev", "unit")
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "%-44s %14.3f %14.3f %7.1f%% %s\n",
+				m.Name, m.Paper, m.Measured, m.Deviation()*100, m.Unit)
+		}
+	}
+	var names []string
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pts := r.Series[name]
+		fmt.Fprintf(&b, "series %s (%d points): ", name, len(pts))
+		step := len(pts) / 12
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(pts); i += step {
+			fmt.Fprintf(&b, "(%.3g, %.3g) ", pts[i].X, pts[i].Y)
+		}
+		b.WriteString("\n")
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Bed is a fully assembled ROS instance on a fresh simulation environment.
+type Bed struct {
+	Env    *sim.Env
+	Lib    *rack.Library
+	FS     *olfs.FS
+	Buffer *pagecache.Volume
+	MVArr  *raid.Array
+}
+
+// BedOptions size a Bed. Zero values take the listed defaults.
+type BedOptions struct {
+	Media       optical.MediaType // default Media25
+	Rollers     int               // default 1
+	Groups      int               // default 2
+	BufferSlots int               // default 30
+	BucketBytes int64             // default 8 MB
+	BurnCap     float64           // aggregate per-group burn cap (0 = uncapped)
+	OLFS        olfs.Config       // DataDiscs etc. default 2+1 for speed
+}
+
+// NewBed assembles a rack + tiers + OLFS.
+func NewBed(o BedOptions) (*Bed, error) {
+	env := sim.NewEnv()
+	if o.Rollers == 0 {
+		o.Rollers = 1
+	}
+	if o.Groups == 0 {
+		o.Groups = 2
+	}
+	if o.BufferSlots == 0 {
+		o.BufferSlots = 30
+	}
+	if o.BucketBytes == 0 {
+		o.BucketBytes = 8 << 20
+	}
+	lib, err := rack.New(env, rack.Config{
+		Rollers:     o.Rollers,
+		DriveGroups: o.Groups,
+		Media:       o.Media,
+		PopulateAll: true,
+		BurnCap:     o.BurnCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// MV: RAID-1 over two SSDs (§3.3).
+	ssds := []blockdev.Device{
+		blockdev.New(env, 64<<30, blockdev.SSDProfile()),
+		blockdev.New(env, 64<<30, blockdev.SSDProfile()),
+	}
+	mvArr, err := raid.New(env, raid.RAID1, ssds, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Buffer: page-cached RAID-5 over 7 HDDs (§3.3/§5.1).
+	hdds := make([]blockdev.Device, 7)
+	perDisk := (int64(o.BufferSlots)*o.BucketBytes/6 + (64 << 10)) * 2
+	for i := range hdds {
+		hdds[i] = blockdev.New(env, perDisk, blockdev.HDDProfile())
+	}
+	bufArr, err := raid.New(env, raid.RAID5, hdds, 64<<10)
+	if err != nil {
+		return nil, err
+	}
+	buffer := pagecache.New(env, bufArr, pagecache.Ext4Rates())
+	cfg := o.OLFS
+	if cfg.DataDiscs == 0 {
+		cfg.DataDiscs = 2
+		cfg.ParityDiscs = 1
+	}
+	cfg.BucketBytes = o.BucketBytes
+	fs, err := olfs.New(env, cfg, lib, mvArr, buffer)
+	if err != nil {
+		return nil, err
+	}
+	return &Bed{Env: env, Lib: lib, FS: fs, Buffer: buffer, MVArr: mvArr}, nil
+}
+
+// Run executes fn as a simulation process and drains the environment.
+func (b *Bed) Run(fn func(p *sim.Proc) error) error {
+	var err error
+	b.Env.Go("experiment", func(p *sim.Proc) {
+		err = fn(p)
+	})
+	b.Env.Run()
+	if err == nil && b.Env.Deadlocked() {
+		err = fmt.Errorf("experiments: simulation deadlocked")
+	}
+	return err
+}
+
+// pat fills deterministic non-zero data.
+func pat(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + seed + 1
+	}
+	return b
+}
+
+// seconds converts a virtual duration to float seconds.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// All runs the complete experiment suite in order.
+func All() ([]Result, error) {
+	runs := []func() (Result, error){
+		Table1, Table2, Table3,
+		Fig6, Fig7, Fig8, Fig9, Fig10,
+		MVSize, MVRecovery, TCO, Power, Reliability,
+	}
+	var out []Result
+	for _, fn := range runs {
+		r, err := fn()
+		if err != nil {
+			return out, fmt.Errorf("%s failed: %w", funcName(fn), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func funcName(fn interface{}) string { return fmt.Sprintf("%T", fn) }

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts a metric's measured value is within tol (relative) of the
+// paper's value.
+func within(t *testing.T, r Result, name string, tol float64) {
+	t.Helper()
+	for _, m := range r.Metrics {
+		if m.Name != name {
+			continue
+		}
+		if m.Paper == 0 {
+			return
+		}
+		dev := math.Abs(m.Deviation())
+		if dev > tol {
+			t.Errorf("%s/%s: measured %.4g vs paper %.4g (%.1f%% off, tol %.0f%%)",
+				r.ID, name, m.Measured, m.Paper, dev*100, tol*100)
+		}
+		return
+	}
+	t.Errorf("%s: metric %q not found", r.ID, name)
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	// Rows 1-3 must keep the paper's order of magnitude; rows 4-5 must land
+	// within a few percent (mechanics dominate); row 6 must be minutes.
+	for _, m := range r.Metrics {
+		if m.Measured <= 0 {
+			t.Errorf("row %q non-positive: %v", m.Name, m.Measured)
+		}
+	}
+	within(t, r, "array in roller, free drives", 0.05)
+	within(t, r, "array in roller, drives idle (swap)", 0.05)
+	ms := metric(r, "disk bucket")
+	if ms.Measured > 0.01 {
+		t.Errorf("bucket read = %.4fs, want ms-scale", ms.Measured)
+	}
+	drv := metric(r, "disc in optical drive")
+	if drv.Measured < 0.1 || drv.Measured > 0.8 {
+		t.Errorf("disc-in-drive read = %.3fs, want ~0.22s scale", drv.Measured)
+	}
+	busy := metric(r, "array in roller, all drives burning")
+	if busy.Measured < 120 {
+		t.Errorf("all-burning read = %.0fs, want minutes", busy.Measured)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "25GB single-drive read", 0.03)
+	within(t, r, "25GB 12-drive aggregate read", 0.04)
+	within(t, r, "100GB single-drive read", 0.03)
+	within(t, r, "100GB 12-drive aggregate read", 0.04)
+}
+
+func TestTable3(t *testing.T) {
+	r, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "load, uppermost layer", 0.01)
+	within(t, r, "unload, uppermost layer", 0.01)
+	within(t, r, "load, lowest layer", 0.01)
+	within(t, r, "unload, lowest layer", 0.01)
+}
+
+func TestFig6(t *testing.T) {
+	r, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "ext4 read (normalized)", 0.001)
+	within(t, r, "ext4+FUSE read (normalized)", 0.10)
+	within(t, r, "ext4+FUSE write (normalized)", 0.10)
+	within(t, r, "ext4+OLFS read (normalized)", 0.12)
+	within(t, r, "ext4+OLFS write (normalized)", 0.12)
+	within(t, r, "samba read (normalized)", 0.12)
+	within(t, r, "samba write (normalized)", 0.12)
+	within(t, r, "samba+OLFS read (normalized)", 0.15)
+	within(t, r, "samba+OLFS write (normalized)", 0.15)
+	// The ordering must match the paper's bars.
+	readOf := func(name string) float64 { return metric(r, name+" read (normalized)").Measured }
+	if !(readOf("ext4") > readOf("ext4+FUSE") && readOf("ext4+FUSE") > readOf("ext4+OLFS") &&
+		readOf("ext4+OLFS") > readOf("samba") && readOf("samba") > readOf("samba+FUSE") &&
+		readOf("samba+FUSE") > readOf("samba+OLFS")) {
+		t.Error("read bars out of order vs Fig 6")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "OLFS 1KB write latency", 0.10)
+	within(t, r, "OLFS 1KB read latency", 0.15)
+	within(t, r, "samba+OLFS 1KB write latency", 0.12)
+	within(t, r, "samba+OLFS 1KB read latency", 0.12)
+	within(t, r, "OLFS write internal ops", 0.001)
+	within(t, r, "OLFS read internal ops", 0.001)
+	within(t, r, "samba+OLFS write internal ops", 0.001)
+}
+
+func TestFig8(t *testing.T) {
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "total recording time", 0.05)
+	within(t, r, "average recording speed", 0.04)
+	within(t, r, "final speed", 0.05)
+}
+
+func TestFig9(t *testing.T) {
+	r, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "array recording time", 0.10)
+	within(t, r, "average aggregate throughput", 0.10)
+	within(t, r, "peak aggregate throughput", 0.10)
+}
+
+func TestFig10(t *testing.T) {
+	r, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "total recording time", 0.05)
+	within(t, r, "average recording speed", 0.03)
+}
+
+func TestMVSize(t *testing.T) {
+	r, err := MVSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "MV for 1B files + 1B dirs", 0.05)
+	ix := metric(r, "typical index file size")
+	if ix.Measured < 150 || ix.Measured > 600 {
+		t.Errorf("index size = %.0f bytes, want few hundred", ix.Measured)
+	}
+}
+
+func TestMVRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burns three full arrays")
+	}
+	r, err := MVRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	within(t, r, "files recovered", 0.001)
+	ext := metric(r, "recovery time extrapolated to 120 discs")
+	if ext.Measured < 10 || ext.Measured > 60 {
+		t.Errorf("extrapolated recovery = %.1f min, want tens of minutes (paper: ~30)", ext.Measured)
+	}
+}
+
+func TestTCOPowerReliability(t *testing.T) {
+	for _, fn := range []func() (Result, error){TCO, Power, Reliability} {
+		r, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + r.String())
+	}
+	r, _ := TCO()
+	within(t, r, "optical TCO", 0.2)
+	within(t, r, "HDD/optical ratio", 0.2)
+	within(t, r, "tape/optical ratio", 0.2)
+	r, _ = Power()
+	within(t, r, "idle power", 0.03)
+	within(t, r, "peak power", 0.03)
+}
+
+func metric(r Result, name string) Metric {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	return Metric{}
+}
+
+func TestPlotRendering(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{X: float64(i), Y: float64(i * i)}
+	}
+	out := Plot("quadratic", pts, 40, 8)
+	if out == "" || len(out) < 100 {
+		t.Fatalf("plot output too small: %q", out)
+	}
+	// Monotone curve: the '*' in the last column must sit on the top row.
+	lines := []byte(out)
+	_ = lines
+	if Plot("empty", nil, 10, 5) != "" {
+		t.Error("empty series should render nothing")
+	}
+	// Flat series must not divide by zero.
+	flat := []Point{{0, 5}, {1, 5}, {2, 5}}
+	if out := Plot("flat", flat, 20, 5); out == "" {
+		t.Error("flat series failed to render")
+	}
+	r := Result{Series: map[string][]Point{"a": pts, "b": flat}}
+	if plots := r.RenderPlots(); len(plots) < 200 {
+		t.Error("RenderPlots too small")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders a series as a compact ASCII chart — rosbench uses it so the
+// paper's figures regenerate as curves, not just summary numbers.
+func Plot(title string, pts []Point, width, height int) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 12
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Column-wise aggregation: average Y of the points in each column.
+	sums := make([]float64, width)
+	counts := make([]int, width)
+	for _, p := range pts {
+		col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		sums[col] += p.Y
+		counts[col]++
+	}
+	for col := 0; col < width; col++ {
+		if counts[col] == 0 {
+			continue
+		}
+		y := sums[col] / float64(counts[col])
+		row := int((y - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s\n", title)
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", minY)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-10.3g%s%10.3g\n", strings.Repeat(" ", 11), minX,
+		strings.Repeat(" ", width-20), maxX)
+	return b.String()
+}
+
+// RenderPlots returns ASCII charts for all of a result's series.
+func (r Result) RenderPlots() string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.Series))
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	// Deterministic order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		b.WriteString(Plot(name, r.Series[name], 64, 12))
+	}
+	return b.String()
+}

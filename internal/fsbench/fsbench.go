@@ -1,0 +1,210 @@
+// Package fsbench is a filebench-like workload generator and measurement
+// harness on the virtual clock. The paper (§5.2) drives the five Fig 6
+// configurations with filebench's singlestream workload at 1 MB I/O size;
+// this package reproduces those workloads plus small-file and multi-stream
+// variants used by the ablation benches.
+package fsbench
+
+import (
+	"fmt"
+	"time"
+
+	"ros/internal/sim"
+	"ros/internal/vfs"
+)
+
+// DefaultIOSize is filebench singlestream's I/O size (§5.2: "default 1 MB").
+const DefaultIOSize = 1 << 20
+
+// Result summarizes one workload run.
+type Result struct {
+	Bytes   int64
+	Ops     int64
+	Elapsed time.Duration
+	// Latencies, when the workload records per-op latency.
+	Latencies []time.Duration
+}
+
+// ThroughputMBps returns MB/s (decimal) over the run.
+func (r Result) ThroughputMBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// MeanLatency returns the average recorded latency.
+func (r Result) MeanLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(r.Latencies))
+}
+
+// pattern fills buf deterministically (cheap, non-zero so storage layers
+// can't elide it).
+func pattern(buf []byte, seed byte) {
+	for i := range buf {
+		buf[i] = byte(i)*31 + seed
+	}
+}
+
+// SingleStreamWrite creates path and writes totalBytes sequentially in
+// ioSize requests — filebench singlestreamwrite.
+func SingleStreamWrite(p *sim.Proc, fs vfs.FileSystem, path string, totalBytes int64, ioSize int) (Result, error) {
+	if ioSize <= 0 {
+		ioSize = DefaultIOSize
+	}
+	start := p.Now()
+	f, err := fs.Create(p, path)
+	if err != nil {
+		return Result{}, err
+	}
+	buf := make([]byte, ioSize)
+	pattern(buf, 0x5A)
+	var res Result
+	for res.Bytes < totalBytes {
+		n := int64(ioSize)
+		if res.Bytes+n > totalBytes {
+			n = totalBytes - res.Bytes
+		}
+		w, err := f.Write(p, buf[:n])
+		res.Bytes += int64(w)
+		res.Ops++
+		if err != nil {
+			f.Close(p)
+			return res, err
+		}
+	}
+	if err := f.Close(p); err != nil {
+		return res, err
+	}
+	res.Elapsed = p.Now() - start
+	return res, nil
+}
+
+// SingleStreamRead reads path fully in ioSize requests — filebench
+// singlestreamread.
+func SingleStreamRead(p *sim.Proc, fs vfs.FileSystem, path string, ioSize int) (Result, error) {
+	if ioSize <= 0 {
+		ioSize = DefaultIOSize
+	}
+	start := p.Now()
+	f, err := fs.Open(p, path)
+	if err != nil {
+		return Result{}, err
+	}
+	buf := make([]byte, ioSize)
+	var res Result
+	for {
+		n, err := f.Read(p, buf)
+		res.Bytes += int64(n)
+		res.Ops++
+		if err != nil {
+			f.Close(p)
+			return res, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if err := f.Close(p); err != nil {
+		return res, err
+	}
+	res.Elapsed = p.Now() - start
+	return res, nil
+}
+
+// SmallFileWrite writes count files of size bytes under dir, recording
+// per-file latency (the Fig 7 1 KB-file scenario generalized).
+func SmallFileWrite(p *sim.Proc, fs vfs.FileSystem, dir string, count, size int) (Result, error) {
+	buf := make([]byte, size)
+	pattern(buf, 0x3C)
+	var res Result
+	start := p.Now()
+	for i := 0; i < count; i++ {
+		t0 := p.Now()
+		name := fmt.Sprintf("%s/f%06d", dir, i)
+		f, err := fs.Create(p, name)
+		if err != nil {
+			return res, err
+		}
+		if _, err := f.Write(p, buf); err != nil {
+			f.Close(p)
+			return res, err
+		}
+		if err := f.Close(p); err != nil {
+			return res, err
+		}
+		res.Bytes += int64(size)
+		res.Ops++
+		res.Latencies = append(res.Latencies, p.Now()-t0)
+	}
+	res.Elapsed = p.Now() - start
+	return res, nil
+}
+
+// SmallFileRead reads count files written by SmallFileWrite, recording
+// per-file latency.
+func SmallFileRead(p *sim.Proc, fs vfs.FileSystem, dir string, count, size int) (Result, error) {
+	buf := make([]byte, size)
+	var res Result
+	start := p.Now()
+	for i := 0; i < count; i++ {
+		t0 := p.Now()
+		name := fmt.Sprintf("%s/f%06d", dir, i)
+		f, err := fs.Open(p, name)
+		if err != nil {
+			return res, err
+		}
+		for {
+			n, err := f.Read(p, buf)
+			res.Bytes += int64(n)
+			if err != nil {
+				f.Close(p)
+				return res, err
+			}
+			if n == 0 {
+				break
+			}
+		}
+		if err := f.Close(p); err != nil {
+			return res, err
+		}
+		res.Ops++
+		res.Latencies = append(res.Latencies, p.Now()-t0)
+	}
+	res.Elapsed = p.Now() - start
+	return res, nil
+}
+
+// MultiStreamWrite runs n concurrent single-stream writers and returns the
+// aggregate result (drives the multi-RAID stream-isolation ablation).
+func MultiStreamWrite(env *sim.Env, p *sim.Proc, fs vfs.FileSystem, dir string, n int, perStream int64, ioSize int) (Result, error) {
+	start := p.Now()
+	comps := make([]*sim.Completion[Result], n)
+	for i := 0; i < n; i++ {
+		i := i
+		comps[i] = sim.NewCompletion[Result](env)
+		c := comps[i]
+		env.Go(fmt.Sprintf("stream-%d", i), func(sp *sim.Proc) {
+			r, err := SingleStreamWrite(sp, fs, fmt.Sprintf("%s/stream-%d", dir, i), perStream, ioSize)
+			c.Resolve(r, err)
+		})
+	}
+	var agg Result
+	for _, c := range comps {
+		r, err := c.Wait(p)
+		if err != nil {
+			return agg, err
+		}
+		agg.Bytes += r.Bytes
+		agg.Ops += r.Ops
+	}
+	agg.Elapsed = p.Now() - start
+	return agg, nil
+}

@@ -1,0 +1,137 @@
+package fuse
+
+import (
+	"bytes"
+	"testing"
+
+	"ros/internal/blockdev"
+	"ros/internal/extfs"
+	"ros/internal/pagecache"
+	"ros/internal/sim"
+	"ros/internal/vfs"
+)
+
+func stack(env *sim.Env, opts Options) (*FS, *extfs.FS) {
+	disk := blockdev.New(env, 1<<30, blockdev.HDDProfile())
+	vol := pagecache.New(env, disk, pagecache.Ext4Rates())
+	inner := extfs.New(env, vol)
+	return Wrap(inner, opts), inner
+}
+
+func inSim(t *testing.T, env *sim.Env, fn func(p *sim.Proc)) {
+	t.Helper()
+	env.Go("test", fn)
+	env.Run()
+	if env.Deadlocked() {
+		t.Fatal("deadlocked")
+	}
+}
+
+func TestPassThroughCorrectness(t *testing.T) {
+	env := sim.NewEnv()
+	fs, _ := stack(env, DefaultOptions())
+	data := bytes.Repeat([]byte{7, 9}, 300000)
+	inSim(t, env, func(p *sim.Proc) {
+		if err := vfs.WriteFile(p, fs, "/f", data, 1<<20); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		got, err := vfs.ReadFile(p, fs, "/f", 1<<20)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("round trip: len=%d err=%v", len(got), err)
+		}
+		if _, err := fs.Stat(p, "/f"); err != nil {
+			t.Errorf("Stat: %v", err)
+		}
+	})
+}
+
+func TestChunkingCounts(t *testing.T) {
+	env := sim.NewEnv()
+	fs, _ := stack(env, DefaultOptions())
+	inSim(t, env, func(p *sim.Proc) {
+		f, _ := fs.Create(p, "/f")
+		// 1 MB write with 128 KB max_write = 8 kernel requests.
+		_, _ = f.Write(p, make([]byte, 1<<20))
+		_ = f.Close(p)
+	})
+	if fs.WriteRequests != 8 {
+		t.Errorf("WriteRequests = %d, want 8", fs.WriteRequests)
+	}
+}
+
+func TestSmallWriteModeCostsMore(t *testing.T) {
+	// §4.8: "By default, FUSE flushes 4KB data ... resulting in frequent
+	// kernel-user mode switches"; big_writes improves write performance.
+	run := func(opts Options) float64 {
+		env := sim.NewEnv()
+		fs, _ := stack(env, opts)
+		var sec float64
+		inSim(t, env, func(p *sim.Proc) {
+			f, _ := fs.Create(p, "/f")
+			start := p.Now()
+			buf := make([]byte, 1<<20)
+			for i := 0; i < 64; i++ {
+				if _, err := f.Write(p, buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sec = (p.Now() - start).Seconds()
+			_ = f.Close(p)
+		})
+		return 64.0 / sec // MB/s
+	}
+	big := run(DefaultOptions())
+	small := run(SmallWriteOptions())
+	if small >= big {
+		t.Errorf("4KB mode (%.0f MB/s) not slower than big_writes (%.0f MB/s)", small, big)
+	}
+	if big/small < 2 {
+		t.Errorf("big_writes speedup = %.2fx, want >= 2x", big/small)
+	}
+}
+
+func TestFig6Ext4FuseRatios(t *testing.T) {
+	// ext4+FUSE vs ext4: -24.1% read, -51.8% write at 1 MB I/O (Fig 6).
+	measure := func(wrapped bool) (rMB, wMB float64) {
+		env := sim.NewEnv()
+		fuseFS, inner := stack(env, DefaultOptions())
+		var fs vfs.FileSystem = inner
+		if wrapped {
+			fs = fuseFS
+		}
+		const total = 128 << 20
+		inSim(t, env, func(p *sim.Proc) {
+			f, _ := fs.Create(p, "/f")
+			buf := make([]byte, 1<<20)
+			start := p.Now()
+			for i := 0; i < total>>20; i++ {
+				if _, err := f.Write(p, buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wMB = float64(total) / 1e6 / (p.Now() - start).Seconds()
+			_ = f.Close(p)
+			r, _ := fs.Open(p, "/f")
+			start = p.Now()
+			for {
+				n, err := r.Read(p, buf)
+				if err != nil || n == 0 {
+					break
+				}
+			}
+			rMB = float64(total) / 1e6 / (p.Now() - start).Seconds()
+			_ = r.Close(p)
+		})
+		return rMB, wMB
+	}
+	rBase, wBase := measure(false)
+	rFuse, wFuse := measure(true)
+	rRatio := rFuse / rBase
+	wRatio := wFuse / wBase
+	if rRatio < 0.70 || rRatio > 0.82 {
+		t.Errorf("read ratio = %.3f, want ~0.759 (Fig 6)", rRatio)
+	}
+	if wRatio < 0.43 || wRatio > 0.54 {
+		t.Errorf("write ratio = %.3f, want ~0.482 (Fig 6)", wRatio)
+	}
+}

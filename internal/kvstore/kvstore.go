@@ -1,0 +1,484 @@
+// Package kvstore implements a key-value interface over OLFS — the §4.2
+// extension point ("key-value, objected storage, and REST") — as a small
+// log-structured merge store:
+//
+//   - writes land in a memtable and flush as sorted, immutable segment
+//     files under /kv/<name>/seg-XXXXXX;
+//   - a MANIFEST file (JSON) names the live segments; updating it exercises
+//     OLFS's version ring;
+//   - reads consult the memtable, then segments newest-to-oldest using a
+//     sparse in-segment index;
+//   - Compact merges all segments, dropping tombstones and shadowed values.
+//
+// Batching thousands of small values into segment files also sidesteps the
+// §4.5 worst case, where every sub-2KB file costs a 2 KB UDF entry plus a
+// 2 KB data block in the bucket.
+package kvstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ros/internal/olfs"
+	"ros/internal/sim"
+	"ros/internal/vfs"
+)
+
+// Root is the namespace subtree holding all KV databases.
+const Root = "/kv"
+
+// Store errors.
+var (
+	ErrNotFound = errors.New("kvstore: key not found")
+	ErrClosed   = errors.New("kvstore: database closed")
+	ErrBadKey   = errors.New("kvstore: invalid key")
+)
+
+// DefaultFlushBytes triggers a memtable flush.
+const DefaultFlushBytes = 4 << 20
+
+// sparseEvery controls the in-segment index density.
+const sparseEvery = 16
+
+// DB is one key-value database.
+type DB struct {
+	fs       *olfs.FS
+	name     string
+	mem      map[string][]byte // nil value = tombstone
+	memBytes int
+	flushAt  int
+	manifest manifest
+	closed   bool
+
+	// Stats.
+	Puts, Gets, Deletes, Flushes, Compactions int64
+}
+
+type manifest struct {
+	Seq      int      `json:"seq"`
+	Segments []string `json:"segments"` // oldest first
+}
+
+func (db *DB) dir() string          { return Root + "/" + db.name }
+func (db *DB) manifestPath() string { return db.dir() + "/MANIFEST" }
+
+// Open loads (or creates) the database called name.
+func Open(p *sim.Proc, fs *olfs.FS, name string) (*DB, error) {
+	if name == "" || strings.ContainsAny(name, "/%") {
+		return nil, fmt.Errorf("kvstore: bad database name %q", name)
+	}
+	db := &DB{fs: fs, name: name, mem: make(map[string][]byte), flushAt: DefaultFlushBytes}
+	data, err := fs.ReadFile(p, db.manifestPath())
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &db.manifest); err != nil {
+			return nil, fmt.Errorf("kvstore: corrupt manifest: %w", err)
+		}
+	case errors.Is(err, vfs.ErrNotFound) || strings.Contains(err.Error(), "no such"):
+		if err := fs.WriteFile(p, db.manifestPath(), []byte(`{"seq":0}`)); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	return db, nil
+}
+
+// SetFlushThreshold tunes the memtable flush size (testing hook).
+func (db *DB) SetFlushThreshold(n int) {
+	if n > 0 {
+		db.flushAt = n
+	}
+}
+
+func checkKey(key string) error {
+	if key == "" || len(key) > 4096 {
+		return fmt.Errorf("%w: %q", ErrBadKey, key)
+	}
+	return nil
+}
+
+// Put stores a value.
+func (db *DB) Put(p *sim.Proc, key string, value []byte) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), value...)
+	if old, ok := db.mem[key]; ok {
+		db.memBytes -= len(key) + len(old)
+	}
+	db.mem[key] = cp
+	db.memBytes += len(key) + len(cp)
+	db.Puts++
+	if db.memBytes >= db.flushAt {
+		return db.Flush(p)
+	}
+	return nil
+}
+
+// Delete removes a key (a tombstone shadows older segment entries).
+func (db *DB) Delete(p *sim.Proc, key string) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if old, ok := db.mem[key]; ok {
+		db.memBytes -= len(key) + len(old)
+	}
+	db.mem[key] = nil
+	db.memBytes += len(key)
+	db.Deletes++
+	if db.memBytes >= db.flushAt {
+		return db.Flush(p)
+	}
+	return nil
+}
+
+// Get retrieves the newest value for key.
+func (db *DB) Get(p *sim.Proc, key string) ([]byte, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	db.Gets++
+	if v, ok := db.mem[key]; ok {
+		if v == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return append([]byte(nil), v...), nil
+	}
+	// Newest segment first.
+	for i := len(db.manifest.Segments) - 1; i >= 0; i-- {
+		v, ok, err := db.segmentGet(p, db.manifest.Segments[i], key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if v == nil {
+				return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+			}
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// Has reports whether the key exists.
+func (db *DB) Has(p *sim.Proc, key string) bool {
+	_, err := db.Get(p, key)
+	return err == nil
+}
+
+// kvPair is one (key, value) with value == nil meaning tombstone.
+type kvPair struct {
+	k string
+	v []byte
+}
+
+// Flush persists the memtable as a new segment and updates the manifest.
+// This is the durability point (analogous to OLFS's bucket ack).
+func (db *DB) Flush(p *sim.Proc) error {
+	if db.closed {
+		return ErrClosed
+	}
+	if len(db.mem) == 0 {
+		return nil
+	}
+	pairs := make([]kvPair, 0, len(db.mem))
+	for k, v := range db.mem {
+		pairs = append(pairs, kvPair{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	db.manifest.Seq++
+	segName := fmt.Sprintf("seg-%06d", db.manifest.Seq)
+	if err := db.writeSegment(p, segName, pairs); err != nil {
+		return err
+	}
+	db.manifest.Segments = append(db.manifest.Segments, segName)
+	if err := db.writeManifest(p); err != nil {
+		return err
+	}
+	db.mem = make(map[string][]byte)
+	db.memBytes = 0
+	db.Flushes++
+	return nil
+}
+
+func (db *DB) writeManifest(p *sim.Proc) error {
+	b, err := json.Marshal(&db.manifest)
+	if err != nil {
+		return err
+	}
+	return db.fs.WriteFile(p, db.manifestPath(), b)
+}
+
+// Segment layout:
+//
+//	header:  "KVSEG01" (8) | nEntries u32 | indexOff u64
+//	entries: klen u16 | vlen i32 (-1 = tombstone) | key | value
+//	index:   every sparseEvery-th entry: klen u16 | key | entryOff u64
+func (db *DB) writeSegment(p *sim.Proc, name string, pairs []kvPair) error {
+	var body []byte
+	type idxEnt struct {
+		key string
+		off uint64
+	}
+	var idx []idxEnt
+	for i, kv := range pairs {
+		if i%sparseEvery == 0 {
+			idx = append(idx, idxEnt{kv.k, uint64(len(body))})
+		}
+		rec := make([]byte, 6+len(kv.k)+len(kv.v))
+		binary.LittleEndian.PutUint16(rec, uint16(len(kv.k)))
+		vlen := int32(len(kv.v))
+		if kv.v == nil {
+			vlen = -1
+		}
+		binary.LittleEndian.PutUint32(rec[2:], uint32(vlen))
+		copy(rec[6:], kv.k)
+		copy(rec[6+len(kv.k):], kv.v)
+		body = append(body, rec...)
+	}
+	header := make([]byte, 20)
+	copy(header, "KVSEG01\x00")
+	binary.LittleEndian.PutUint32(header[8:], uint32(len(pairs)))
+	binary.LittleEndian.PutUint64(header[12:], uint64(20+len(body)))
+	out := append(header, body...)
+	for _, ie := range idx {
+		rec := make([]byte, 2+len(ie.key)+8)
+		binary.LittleEndian.PutUint16(rec, uint16(len(ie.key)))
+		copy(rec[2:], ie.key)
+		binary.LittleEndian.PutUint64(rec[2+len(ie.key):], ie.off)
+		out = append(out, rec...)
+	}
+	return db.fs.WriteFile(p, db.dir()+"/"+name, out)
+}
+
+// segmentGet searches one segment for key.
+func (db *DB) segmentGet(p *sim.Proc, seg, key string) ([]byte, bool, error) {
+	fr, err := db.fs.OpenFile(p, db.dir()+"/"+seg)
+	if err != nil {
+		return nil, false, err
+	}
+	header := make([]byte, 20)
+	if _, err := fr.ReadAt(p, header, 0); err != nil {
+		return nil, false, err
+	}
+	if string(header[:7]) != "KVSEG01" {
+		return nil, false, fmt.Errorf("kvstore: bad segment magic in %s", seg)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(header[12:]))
+	size := fr.Size()
+	// Read the sparse index.
+	idxBuf := make([]byte, size-indexOff)
+	if _, err := fr.ReadAt(p, idxBuf, indexOff); err != nil {
+		return nil, false, err
+	}
+	// Find the greatest index key <= key.
+	start := int64(20)
+	found := false
+	for off := 0; off+2 <= len(idxBuf); {
+		kl := int(binary.LittleEndian.Uint16(idxBuf[off:]))
+		if off+2+kl+8 > len(idxBuf) {
+			break
+		}
+		ik := string(idxBuf[off+2 : off+2+kl])
+		io := binary.LittleEndian.Uint64(idxBuf[off+2+kl:])
+		if ik <= key {
+			start = 20 + int64(io)
+			found = true
+		} else {
+			break
+		}
+		off += 2 + kl + 8
+	}
+	if !found && start == 20 {
+		// key may still be in the first block; scan from the top.
+	}
+	// Scan up to sparseEvery entries from start.
+	buf := make([]byte, 0)
+	pos := start
+	for scanned := 0; scanned < sparseEvery && pos < indexOff; scanned++ {
+		hdr := make([]byte, 6)
+		if _, err := fr.ReadAt(p, hdr, pos); err != nil {
+			return nil, false, err
+		}
+		kl := int(binary.LittleEndian.Uint16(hdr))
+		vl := int32(binary.LittleEndian.Uint32(hdr[2:]))
+		vlen := int(vl)
+		if vl < 0 {
+			vlen = 0
+		}
+		rec := make([]byte, kl+vlen)
+		if kl+vlen > 0 {
+			if _, err := fr.ReadAt(p, rec, pos+6); err != nil {
+				return nil, false, err
+			}
+		}
+		k := string(rec[:kl])
+		if k == key {
+			if vl < 0 {
+				return nil, true, nil // tombstone
+			}
+			buf = append(buf, rec[kl:]...)
+			return buf, true, nil
+		}
+		if k > key {
+			return nil, false, nil // sorted: key absent
+		}
+		pos += int64(6 + kl + vlen)
+	}
+	return nil, false, nil
+}
+
+// readSegment loads a whole segment's pairs (for Scan and Compact).
+func (db *DB) readSegment(p *sim.Proc, seg string) ([]kvPair, error) {
+	data, err := db.fs.ReadFile(p, db.dir()+"/"+seg)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 20 || string(data[:7]) != "KVSEG01" {
+		return nil, fmt.Errorf("kvstore: bad segment %s", seg)
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	indexOff := int(binary.LittleEndian.Uint64(data[12:]))
+	out := make([]kvPair, 0, n)
+	pos := 20
+	for i := 0; i < n && pos < indexOff; i++ {
+		kl := int(binary.LittleEndian.Uint16(data[pos:]))
+		vl := int32(binary.LittleEndian.Uint32(data[pos+2:]))
+		vlen := int(vl)
+		if vl < 0 {
+			vlen = 0
+		}
+		k := string(data[pos+6 : pos+6+kl])
+		var v []byte
+		if vl >= 0 {
+			v = append([]byte(nil), data[pos+6+kl:pos+6+kl+vlen]...)
+		}
+		out = append(out, kvPair{k, v})
+		pos += 6 + kl + vlen
+	}
+	return out, nil
+}
+
+// Entry is a Scan result.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Scan returns all live entries with the given key prefix, sorted by key
+// (newest version of each key wins; tombstones hide older values).
+func (db *DB) Scan(p *sim.Proc, prefix string) ([]Entry, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	merged := make(map[string][]byte)
+	// Oldest segment first so newer layers overwrite.
+	for _, seg := range db.manifest.Segments {
+		pairs, err := db.readSegment(p, seg)
+		if err != nil {
+			return nil, err
+		}
+		for _, kv := range pairs {
+			if strings.HasPrefix(kv.k, prefix) {
+				merged[kv.k] = kv.v
+			}
+		}
+	}
+	for k, v := range db.mem {
+		if strings.HasPrefix(k, prefix) {
+			merged[k] = v
+		}
+	}
+	out := make([]Entry, 0, len(merged))
+	for k, v := range merged {
+		if v == nil {
+			continue // tombstone
+		}
+		out = append(out, Entry{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Compact merges every segment (and the memtable) into one segment,
+// dropping tombstones and shadowed versions, then rewrites the manifest.
+func (db *DB) Compact(p *sim.Proc) error {
+	if db.closed {
+		return ErrClosed
+	}
+	merged := make(map[string][]byte)
+	for _, seg := range db.manifest.Segments {
+		pairs, err := db.readSegment(p, seg)
+		if err != nil {
+			return err
+		}
+		for _, kv := range pairs {
+			merged[kv.k] = kv.v
+		}
+	}
+	for k, v := range db.mem {
+		merged[k] = v
+	}
+	var pairs []kvPair
+	for k, v := range merged {
+		if v == nil {
+			continue
+		}
+		pairs = append(pairs, kvPair{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	old := db.manifest.Segments
+	db.manifest.Seq++
+	segName := fmt.Sprintf("seg-%06d", db.manifest.Seq)
+	if len(pairs) > 0 {
+		if err := db.writeSegment(p, segName, pairs); err != nil {
+			return err
+		}
+		db.manifest.Segments = []string{segName}
+	} else {
+		db.manifest.Segments = nil
+	}
+	if err := db.writeManifest(p); err != nil {
+		return err
+	}
+	// Old segments leave the namespace; burned copies remain on WORM discs.
+	for _, seg := range old {
+		_ = db.fs.Unlink(p, db.dir()+"/"+seg)
+	}
+	db.mem = make(map[string][]byte)
+	db.memBytes = 0
+	db.Compactions++
+	return nil
+}
+
+// Segments returns the live segment count (diagnostics).
+func (db *DB) Segments() int { return len(db.manifest.Segments) }
+
+// MemBytes returns the current memtable footprint.
+func (db *DB) MemBytes() int { return db.memBytes }
+
+// Close flushes and marks the handle unusable.
+func (db *DB) Close(p *sim.Proc) error {
+	if db.closed {
+		return nil
+	}
+	if err := db.Flush(p); err != nil {
+		return err
+	}
+	db.closed = true
+	return nil
+}

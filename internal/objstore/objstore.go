@@ -1,0 +1,297 @@
+// Package objstore implements an S3-style object interface over OLFS — the
+// §4.2 extension point: "This namespace mapping mechanism can also be
+// extended to support other mainstream access interfaces such as key-value,
+// objected storage, and REST."
+//
+// Objects map onto the global namespace as
+//
+//	/objects/<bucket>/<escaped-key>            object payload
+//	/objects/<bucket>/<escaped-key>.__objmeta  user metadata + ETag (JSON)
+//
+// so every object inherits OLFS's tiering, versioning, parity and
+// disc-level recoverability for free, and remains visible as plain files
+// through the POSIX view.
+package objstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"sort"
+	"strings"
+
+	"ros/internal/olfs"
+	"ros/internal/sim"
+	"ros/internal/vfs"
+)
+
+// Root is the namespace subtree holding all object data.
+const Root = "/objects"
+
+const metaSuffix = ".__objmeta"
+
+// Object store errors.
+var (
+	ErrNoSuchBucket = errors.New("objstore: no such bucket")
+	ErrNoSuchKey    = errors.New("objstore: no such key")
+	ErrBucketExists = errors.New("objstore: bucket exists")
+	ErrBadName      = errors.New("objstore: invalid bucket or key name")
+)
+
+// Object describes a stored object.
+type Object struct {
+	Bucket  string            `json:"bucket"`
+	Key     string            `json:"key"`
+	Size    int64             `json:"size"`
+	ETag    string            `json:"etag"`
+	Version int               `json:"version"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+// Store is the object interface over an OLFS instance.
+type Store struct {
+	fs *olfs.FS
+}
+
+// New creates a store over fs.
+func New(fs *olfs.FS) *Store { return &Store{fs: fs} }
+
+// escapeKey makes an object key filesystem-safe while keeping '/' hierarchy.
+func escapeKey(key string) (string, error) {
+	if key == "" || strings.HasPrefix(key, "/") || strings.Contains(key, "//") {
+		return "", fmt.Errorf("%w: key %q", ErrBadName, key)
+	}
+	parts := strings.Split(key, "/")
+	for i, c := range parts {
+		if c == "" || c == "." || c == ".." {
+			return "", fmt.Errorf("%w: key %q", ErrBadName, key)
+		}
+		parts[i] = url.PathEscape(c)
+	}
+	return strings.Join(parts, "/"), nil
+}
+
+// unescapeKey reverses escapeKey.
+func unescapeKey(path string) string {
+	parts := strings.Split(path, "/")
+	for i, c := range parts {
+		if u, err := url.PathUnescape(c); err == nil {
+			parts[i] = u
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+func checkBucketName(b string) error {
+	if b == "" || strings.ContainsAny(b, "/%.") {
+		return fmt.Errorf("%w: bucket %q", ErrBadName, b)
+	}
+	return nil
+}
+
+func (s *Store) bucketDir(b string) string { return Root + "/" + b }
+
+func (s *Store) objPath(bucket, key string) (string, error) {
+	if err := checkBucketName(bucket); err != nil {
+		return "", err
+	}
+	ek, err := escapeKey(key)
+	if err != nil {
+		return "", err
+	}
+	return s.bucketDir(bucket) + "/" + ek, nil
+}
+
+// etag computes a content hash.
+func etag(data []byte) string {
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// CreateBucket registers a bucket.
+func (s *Store) CreateBucket(p *sim.Proc, bucket string) error {
+	if err := checkBucketName(bucket); err != nil {
+		return err
+	}
+	err := s.fs.Mkdir(p, s.bucketDir(bucket))
+	if errors.Is(err, vfs.ErrExist) {
+		return fmt.Errorf("%w: %s", ErrBucketExists, bucket)
+	}
+	return err
+}
+
+// BucketExists reports whether the bucket is registered.
+func (s *Store) BucketExists(p *sim.Proc, bucket string) bool {
+	if checkBucketName(bucket) != nil {
+		return false
+	}
+	fi, err := s.fs.Stat(p, s.bucketDir(bucket))
+	return err == nil && fi.IsDir
+}
+
+// ListBuckets enumerates buckets.
+func (s *Store) ListBuckets(p *sim.Proc) ([]string, error) {
+	des, err := s.fs.ReadDir(p, Root)
+	if err != nil {
+		if errors.Is(err, vfs.ErrNotFound) {
+			return nil, nil // no bucket created yet
+		}
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if de.IsDir {
+			out = append(out, de.Name)
+		}
+	}
+	return out, nil
+}
+
+// Put stores an object (a new version if the key exists) and returns its
+// descriptor.
+func (s *Store) Put(p *sim.Proc, bucket, key string, data []byte, meta map[string]string) (Object, error) {
+	if !s.BucketExists(p, bucket) {
+		return Object{}, fmt.Errorf("%w: %s", ErrNoSuchBucket, bucket)
+	}
+	path, err := s.objPath(bucket, key)
+	if err != nil {
+		return Object{}, err
+	}
+	if err := s.fs.WriteFile(p, path, data); err != nil {
+		return Object{}, err
+	}
+	fi, err := s.fs.Stat(p, path)
+	if err != nil {
+		return Object{}, err
+	}
+	obj := Object{
+		Bucket:  bucket,
+		Key:     key,
+		Size:    int64(len(data)),
+		ETag:    etag(data),
+		Version: fi.Version,
+		Meta:    meta,
+	}
+	mb, err := json.Marshal(&obj)
+	if err != nil {
+		return Object{}, err
+	}
+	if err := s.fs.WriteFile(p, path+metaSuffix, mb); err != nil {
+		return Object{}, err
+	}
+	return obj, nil
+}
+
+// Head returns an object's descriptor without its payload.
+func (s *Store) Head(p *sim.Proc, bucket, key string) (Object, error) {
+	path, err := s.objPath(bucket, key)
+	if err != nil {
+		return Object{}, err
+	}
+	mb, err := s.fs.ReadFile(p, path+metaSuffix)
+	if err != nil {
+		return Object{}, fmt.Errorf("%w: %s/%s", ErrNoSuchKey, bucket, key)
+	}
+	var obj Object
+	if err := json.Unmarshal(mb, &obj); err != nil {
+		return Object{}, err
+	}
+	return obj, nil
+}
+
+// Get returns an object's payload and descriptor, verifying the ETag.
+func (s *Store) Get(p *sim.Proc, bucket, key string) ([]byte, Object, error) {
+	obj, err := s.Head(p, bucket, key)
+	if err != nil {
+		return nil, Object{}, err
+	}
+	path, _ := s.objPath(bucket, key)
+	data, err := s.fs.ReadFile(p, path)
+	if err != nil {
+		return nil, obj, err
+	}
+	if got := etag(data); got != obj.ETag {
+		return data, obj, fmt.Errorf("objstore: etag mismatch for %s/%s: %s != %s",
+			bucket, key, got, obj.ETag)
+	}
+	return data, obj, nil
+}
+
+// GetVersion retrieves a historical version of an object (§4.6 provenance).
+func (s *Store) GetVersion(p *sim.Proc, bucket, key string, version int) ([]byte, error) {
+	path, err := s.objPath(bucket, key)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := s.fs.OpenFileVersion(p, path, version)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fr.Size())
+	n, err := fr.ReadAt(p, buf, 0)
+	return buf[:n], err
+}
+
+// List enumerates objects in a bucket with the given key prefix, sorted.
+func (s *Store) List(p *sim.Proc, bucket, prefix string) ([]Object, error) {
+	if !s.BucketExists(p, bucket) {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchBucket, bucket)
+	}
+	var out []Object
+	root := s.bucketDir(bucket)
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		des, err := s.fs.ReadDir(p, dir)
+		if err != nil {
+			return err
+		}
+		for _, de := range des {
+			full := dir + "/" + de.Name
+			if de.IsDir {
+				if err := walk(full); err != nil {
+					return err
+				}
+				continue
+			}
+			if !strings.HasSuffix(de.Name, metaSuffix) {
+				continue
+			}
+			rel := strings.TrimSuffix(strings.TrimPrefix(full, root+"/"), metaSuffix)
+			key := unescapeKey(rel)
+			if !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			obj, err := s.Head(p, bucket, key)
+			if err != nil {
+				continue
+			}
+			out = append(out, obj)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Delete removes an object from the namespace. Burned versions remain on
+// WORM discs (the §4.6 provenance property) but are no longer addressable
+// through the object interface.
+func (s *Store) Delete(p *sim.Proc, bucket, key string) error {
+	path, err := s.objPath(bucket, key)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Head(p, bucket, key); err != nil {
+		return err
+	}
+	if err := s.fs.Unlink(p, path+metaSuffix); err != nil {
+		return err
+	}
+	return s.fs.Unlink(p, path)
+}

@@ -1,0 +1,237 @@
+package objstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ros/internal/sim"
+)
+
+// RESTHandler exposes the object store over HTTP — the third §4.2 interface.
+//
+//	PUT    /objects/{bucket}                       create bucket
+//	GET    /objects                                list buckets (JSON)
+//	PUT    /objects/{bucket}/{key...}              put object (x-ros-meta-* headers)
+//	GET    /objects/{bucket}/{key...}              get object (?version=N for history)
+//	HEAD   /objects/{bucket}/{key...}              object descriptor in headers
+//	GET    /objects/{bucket}?list=1&prefix=p       list objects (JSON)
+//	DELETE /objects/{bucket}/{key...}              delete object
+//
+// HTTP requests arrive on real goroutines while the simulation is single-
+// threaded, so the handler serializes simulation entry with a mutex (the SC
+// is one controller).
+type RESTHandler struct {
+	mu    sync.Mutex
+	env   *sim.Env
+	store *Store
+}
+
+// NewRESTHandler wraps a store for HTTP serving.
+func NewRESTHandler(env *sim.Env, store *Store) *RESTHandler {
+	return &RESTHandler{env: env, store: store}
+}
+
+// do runs fn inside the simulation and drains it.
+func (h *RESTHandler) do(fn func(p *sim.Proc) error) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var err error
+	h.env.Go("rest", func(p *sim.Proc) { err = fn(p) })
+	h.env.Run()
+	return err
+}
+
+// ServeHTTP implements http.Handler.
+func (h *RESTHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	if !strings.HasPrefix(path, "objects") {
+		http.NotFound(w, r)
+		return
+	}
+	rest := strings.TrimPrefix(strings.TrimPrefix(path, "objects"), "/")
+	var bucket, key string
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		bucket, key = rest[:i], rest[i+1:]
+	} else {
+		bucket = rest
+	}
+	switch {
+	case bucket == "" && r.Method == http.MethodGet:
+		h.listBuckets(w)
+	case key == "" && r.Method == http.MethodPut:
+		h.createBucket(w, bucket)
+	case key == "" && r.Method == http.MethodGet:
+		h.listObjects(w, bucket, r.URL.Query().Get("prefix"))
+	case key != "" && r.Method == http.MethodPut:
+		h.putObject(w, r, bucket, key)
+	case key != "" && r.Method == http.MethodGet:
+		h.getObject(w, r, bucket, key)
+	case key != "" && r.Method == http.MethodHead:
+		h.headObject(w, bucket, key)
+	case key != "" && r.Method == http.MethodDelete:
+		h.deleteObject(w, bucket, key)
+	default:
+		http.Error(w, "unsupported", http.StatusMethodNotAllowed)
+	}
+}
+
+// httpStatus maps store errors onto status codes.
+func httpStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case strings.Contains(err.Error(), "no such"):
+		return http.StatusNotFound
+	case strings.Contains(err.Error(), "exists"):
+		return http.StatusConflict
+	case strings.Contains(err.Error(), "invalid"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func fail(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), httpStatus(err))
+}
+
+func (h *RESTHandler) listBuckets(w http.ResponseWriter) {
+	var buckets []string
+	if err := h.do(func(p *sim.Proc) error {
+		var err error
+		buckets, err = h.store.ListBuckets(p)
+		return err
+	}); err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(buckets)
+}
+
+func (h *RESTHandler) createBucket(w http.ResponseWriter, bucket string) {
+	if err := h.do(func(p *sim.Proc) error {
+		return h.store.CreateBucket(p, bucket)
+	}); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (h *RESTHandler) listObjects(w http.ResponseWriter, bucket, prefix string) {
+	var objs []Object
+	if err := h.do(func(p *sim.Proc) error {
+		var err error
+		objs, err = h.store.List(p, bucket, prefix)
+		return err
+	}); err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(objs)
+}
+
+// metaHeaderPrefix carries user metadata on PUT and back on GET/HEAD.
+const metaHeaderPrefix = "X-Ros-Meta-"
+
+func (h *RESTHandler) putObject(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	meta := map[string]string{}
+	for name, vals := range r.Header {
+		if strings.HasPrefix(name, metaHeaderPrefix) && len(vals) > 0 {
+			meta[strings.ToLower(strings.TrimPrefix(name, metaHeaderPrefix))] = vals[0]
+		}
+	}
+	if len(meta) == 0 {
+		meta = nil
+	}
+	var obj Object
+	if err := h.do(func(p *sim.Proc) error {
+		var err error
+		obj, err = h.store.Put(p, bucket, key, data, meta)
+		return err
+	}); err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("ETag", obj.ETag)
+	w.Header().Set("X-Ros-Version", strconv.Itoa(obj.Version))
+	w.WriteHeader(http.StatusCreated)
+}
+
+func setObjHeaders(w http.ResponseWriter, obj Object) {
+	w.Header().Set("ETag", obj.ETag)
+	w.Header().Set("X-Ros-Version", strconv.Itoa(obj.Version))
+	w.Header().Set("Content-Length", strconv.FormatInt(obj.Size, 10))
+	for k, v := range obj.Meta {
+		w.Header().Set(metaHeaderPrefix+k, v)
+	}
+}
+
+func (h *RESTHandler) getObject(w http.ResponseWriter, r *http.Request, bucket, key string) {
+	if vstr := r.URL.Query().Get("version"); vstr != "" {
+		v, err := strconv.Atoi(vstr)
+		if err != nil {
+			fail(w, fmt.Errorf("invalid version %q", vstr))
+			return
+		}
+		var data []byte
+		if err := h.do(func(p *sim.Proc) error {
+			var err error
+			data, err = h.store.GetVersion(p, bucket, key, v)
+			return err
+		}); err != nil {
+			fail(w, err)
+			return
+		}
+		w.Write(data)
+		return
+	}
+	var data []byte
+	var obj Object
+	if err := h.do(func(p *sim.Proc) error {
+		var err error
+		data, obj, err = h.store.Get(p, bucket, key)
+		return err
+	}); err != nil {
+		fail(w, err)
+		return
+	}
+	setObjHeaders(w, obj)
+	w.Write(data)
+}
+
+func (h *RESTHandler) headObject(w http.ResponseWriter, bucket, key string) {
+	var obj Object
+	if err := h.do(func(p *sim.Proc) error {
+		var err error
+		obj, err = h.store.Head(p, bucket, key)
+		return err
+	}); err != nil {
+		w.WriteHeader(httpStatus(err))
+		return
+	}
+	setObjHeaders(w, obj)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (h *RESTHandler) deleteObject(w http.ResponseWriter, bucket, key string) {
+	if err := h.do(func(p *sim.Proc) error {
+		return h.store.Delete(p, bucket, key)
+	}); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

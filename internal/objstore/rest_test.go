@@ -1,0 +1,180 @@
+package objstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newRESTServer builds a store behind an httptest server.
+func newRESTServer(t *testing.T) (*httptest.Server, *Store) {
+	t.Helper()
+	env, st, _ := newStore(t)
+	h := NewRESTHandler(env, st)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func doReq(t *testing.T, method, url string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestRESTPutGetRoundTrip(t *testing.T) {
+	srv, _ := newRESTServer(t)
+	base := srv.URL + "/objects"
+
+	if r := doReq(t, "PUT", base+"/media", nil, nil); r.StatusCode != http.StatusCreated {
+		t.Fatalf("create bucket: %d", r.StatusCode)
+	}
+	payload := bytes.Repeat([]byte("REST payload "), 500)
+	r := doReq(t, "PUT", base+"/media/films/intro.mp4", payload,
+		map[string]string{"X-Ros-Meta-Codec": "h264"})
+	if r.StatusCode != http.StatusCreated {
+		t.Fatalf("put: %d", r.StatusCode)
+	}
+	etag := r.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on put")
+	}
+
+	r = doReq(t, "GET", base+"/media/films/intro.mp4", nil, nil)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d", r.StatusCode)
+	}
+	got, _ := io.ReadAll(r.Body)
+	if !bytes.Equal(got, payload) {
+		t.Error("payload mismatch over REST")
+	}
+	if r.Header.Get("ETag") != etag {
+		t.Error("etag changed between put and get")
+	}
+	if r.Header.Get("X-Ros-Meta-codec") == "" && r.Header.Get("X-Ros-Meta-Codec") == "" {
+		t.Error("user metadata lost")
+	}
+}
+
+func TestRESTHeadAndDelete(t *testing.T) {
+	srv, _ := newRESTServer(t)
+	base := srv.URL + "/objects"
+	doReq(t, "PUT", base+"/b", nil, nil)
+	doReq(t, "PUT", base+"/b/k", []byte("data"), nil)
+
+	r := doReq(t, "HEAD", base+"/b/k", nil, nil)
+	if r.StatusCode != http.StatusOK || r.Header.Get("Content-Length") != "4" {
+		t.Fatalf("head: %d len=%s", r.StatusCode, r.Header.Get("Content-Length"))
+	}
+	if r := doReq(t, "DELETE", base+"/b/k", nil, nil); r.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", r.StatusCode)
+	}
+	if r := doReq(t, "GET", base+"/b/k", nil, nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", r.StatusCode)
+	}
+}
+
+func TestRESTListAndVersions(t *testing.T) {
+	srv, _ := newRESTServer(t)
+	base := srv.URL + "/objects"
+	doReq(t, "PUT", base+"/b", nil, nil)
+	doReq(t, "PUT", base+"/b/x/1", []byte("v1"), nil)
+	doReq(t, "PUT", base+"/b/x/1", []byte("v2!"), nil)
+	doReq(t, "PUT", base+"/b/y/2", []byte("other"), nil)
+
+	// Bucket listing.
+	r := doReq(t, "GET", base, nil, nil)
+	var buckets []string
+	json.NewDecoder(r.Body).Decode(&buckets)
+	if len(buckets) != 1 || buckets[0] != "b" {
+		t.Errorf("buckets = %v", buckets)
+	}
+
+	// Object listing with prefix.
+	r = doReq(t, "GET", base+"/b?prefix=x/", nil, nil)
+	var objs []Object
+	json.NewDecoder(r.Body).Decode(&objs)
+	if len(objs) != 1 || objs[0].Key != "x/1" || objs[0].Version != 2 {
+		t.Errorf("objs = %+v", objs)
+	}
+
+	// Historical version.
+	r = doReq(t, "GET", base+"/b/x/1?version=1", nil, nil)
+	got, _ := io.ReadAll(r.Body)
+	if string(got) != "v1" {
+		t.Errorf("version 1 = %q", got)
+	}
+}
+
+func TestRESTErrors(t *testing.T) {
+	srv, _ := newRESTServer(t)
+	base := srv.URL + "/objects"
+	if r := doReq(t, "GET", base+"/nope/k", nil, nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("missing key: %d", r.StatusCode)
+	}
+	doReq(t, "PUT", base+"/b", nil, nil)
+	if r := doReq(t, "PUT", base+"/b", nil, nil); r.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate bucket: %d", r.StatusCode)
+	}
+	if r := doReq(t, "PUT", base+"/b/k?x=1", []byte("d"), nil); r.StatusCode != http.StatusCreated {
+		t.Errorf("put with query: %d", r.StatusCode)
+	}
+	if r := doReq(t, "POST", base+"/b/k", []byte("d"), nil); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: %d", r.StatusCode)
+	}
+	if r := doReq(t, "GET", srv.URL+"/other", nil, nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("bad root: %d", r.StatusCode)
+	}
+	if r := doReq(t, "GET", base+"/b/x/1?version=abc", nil, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad version: %d", r.StatusCode)
+	}
+}
+
+func TestRESTConcurrentClients(t *testing.T) {
+	srv, _ := newRESTServer(t)
+	base := srv.URL + "/objects"
+	doReq(t, "PUT", base+"/c", nil, nil)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		go func() {
+			key := "worker/" + strings.Repeat("x", i+1)
+			body := bytes.Repeat([]byte{byte(i + 1)}, 2048)
+			r := doReq(t, "PUT", base+"/c/"+key, body, nil)
+			if r.StatusCode != http.StatusCreated {
+				done <- io.EOF
+				return
+			}
+			r = doReq(t, "GET", base+"/c/"+key, nil, nil)
+			got, _ := io.ReadAll(r.Body)
+			if !bytes.Equal(got, body) {
+				done <- io.EOF
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal("concurrent client failed")
+		}
+	}
+}

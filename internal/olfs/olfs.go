@@ -1,0 +1,387 @@
+// Package olfs implements the Optical Library File System (§4 of the
+// paper): the global virtualized POSIX namespace over the ROS tiered store.
+//
+// It composes the module structure of Fig 3:
+//
+//   - PI  (POSIX Interface)           — fsiface.go, vfs.FileSystem
+//   - WBM (Writing Bucket Management) — write.go over internal/bucket
+//   - DIM (Disc Image Management)     — internal/image catalog + parity
+//   - BTM (Burning Task Management)   — task.go burn daemon
+//   - FTM (Fetching Task Management)  — task.go fetch logic
+//   - MC  (Mechanical Controller)     — internal/rack composites
+//   - DB  (Disc Burning)              — internal/optical drives
+//   - RC  (Read Cache)                — bucket manager LRU residency
+//   - MI  (Maintenance Interface)     — recover.go + stats accessors
+//
+// Files enter updatable UDF buckets on the disk write buffer (preliminary
+// bucket writing, §4.3), full buckets seal into disc images, parity images
+// are generated lazily (§4.7), and image sets are burned onto 12-disc trays
+// asynchronously. Reads resolve through MV index files and fall down the
+// tier ladder of Table 1: bucket -> buffered image -> disc in drive -> disc
+// in roller.
+package olfs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ros/internal/bucket"
+	"ros/internal/image"
+	"ros/internal/mv"
+	"ros/internal/optical"
+	"ros/internal/rack"
+	"ros/internal/sim"
+	"ros/internal/udf"
+)
+
+// ReadPolicy selects what a fetch does when every drive group is burning
+// (§4.8's two policies).
+type ReadPolicy int
+
+// Read policies for the all-drives-busy case.
+const (
+	// WaitForBurn waits for a burning group to finish (minutes to an hour).
+	WaitForBurn ReadPolicy = iota
+	// InterruptBurn aborts a burning array, services the read, then reloads
+	// and resumes the burn in append mode.
+	InterruptBurn
+)
+
+// Config tunes OLFS. Zero fields take the documented defaults.
+type Config struct {
+	// DataDiscs and ParityDiscs set the per-tray redundancy (§4.7):
+	// 11+1 (RAID-5-like, default) or 10+2 (RAID-6-like).
+	DataDiscs   int
+	ParityDiscs int
+
+	// MVOpCost is the per-index-file-operation cost (Fig 7: ~2.5 ms).
+	MVOpCost time.Duration
+	// SwitchCost is the FUSE kernel-user mode switch charged per internal
+	// operation (§4.8).
+	SwitchCost time.Duration
+	// ReadReqOverhead/WriteReqOverhead are the OLFS data-path costs per
+	// request as delivered by the kernel (128 KB FUSE chunks), calibrated
+	// from Fig 6 (ext4+OLFS vs ext4+FUSE).
+	ReadReqOverhead  time.Duration
+	WriteReqOverhead time.Duration
+	// DirectIO makes every data write/read also charge an MV op (journal
+	// sync), the §5.2 tracing configuration for Fig 7.
+	DirectIO bool
+
+	// VFSMountTime is the §5.4 "mounting disc into local VFS" delay.
+	VFSMountTime time.Duration
+
+	// AutoBurn enqueues a burn task whenever DataDiscs images are sealed.
+	AutoBurn bool
+	// BurnStagger serializes drive burn starts within an array (metadata-
+	// area formatting + task dispatch); calibrated so a 12x25GB array takes
+	// the paper's 1146 s (Fig 9).
+	BurnStagger time.Duration
+	// ReadPolicy picks the all-drives-burning behaviour (§4.8).
+	ReadPolicy ReadPolicy
+	// Forepart stores the first 256 KB of each file in MV to bound first-
+	// byte latency on roller misses (§4.8).
+	Forepart bool
+	// RecycleAfterBurn frees bucket slots immediately after burning instead
+	// of retaining them as read cache (ablation knob; default keeps them).
+	RecycleAfterBurn bool
+	// BucketBytes overrides the bucket capacity (default: the disc
+	// capacity). Smaller buckets are useful in tests; burned discs still
+	// charge full write-all-once time.
+	BucketBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataDiscs == 0 {
+		c.DataDiscs = 11
+	}
+	if c.ParityDiscs == 0 {
+		c.ParityDiscs = 1
+	}
+	if c.MVOpCost == 0 {
+		c.MVOpCost = mv.DefaultOpCost
+	}
+	if c.SwitchCost == 0 {
+		c.SwitchCost = 600 * time.Microsecond
+	}
+	if c.ReadReqOverhead == 0 {
+		c.ReadReqOverhead = 55 * time.Microsecond // 0.443 ms per 1 MB / 8 chunks
+	}
+	if c.WriteReqOverhead == 0 {
+		c.WriteReqOverhead = 29 * time.Microsecond // 0.234 ms per 1 MB / 8 chunks
+	}
+	if c.VFSMountTime == 0 {
+		c.VFSMountTime = 220 * time.Millisecond
+	}
+	if c.BurnStagger == 0 {
+		c.BurnStagger = 43 * time.Second
+	}
+	return c
+}
+
+// OLFS errors.
+var (
+	ErrNoBlankTray = errors.New("olfs: no empty tray with blank discs")
+	ErrPartMissing = errors.New("olfs: image holding file part is unavailable")
+	ErrStopped     = errors.New("olfs: filesystem stopped")
+)
+
+// OpTrace records one internal operation for Fig 7 style breakdowns.
+type OpTrace struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// FS is the optical library file system.
+type FS struct {
+	env *sim.Env
+	cfg Config
+	lib *rack.Library
+
+	MV      *mv.Volume
+	mvStore mv.Backend
+	Buckets *bucket.Manager
+	Cat     *image.Catalog
+
+	cur   *bucket.Bucket // open bucket receiving writes
+	curMu *sim.Resource  // serializes bucket writes (one PBW stream)
+
+	burnQ      *sim.Queue[*burnTask]
+	groupFreed *sim.Signal // pulsed when a drive group changes availability
+	groupBusy  []bool      // group claimed by a burn/fetch composite
+	fetches    map[string]*sim.Completion[int]
+	mounted    map[*optical.Drive]*udf.Volume
+
+	tracing bool
+	trace   []OpTrace
+	stopped bool
+
+	// Direct-writing mode staging (§4.8).
+	moverQ       *sim.Queue[directItem]
+	moverIdle    *sim.Signal
+	moverPending int
+	moverErr     error
+
+	// Stats (maintenance interface).
+	FilesWritten  int64
+	FilesRead     int64
+	BytesWritten  int64
+	BytesRead     int64
+	BurnTasks     int64
+	FetchTasks    int64
+	BurnResumes   int64
+	SplitFiles    int64
+	ForepartHits  int64
+	CacheHits     int64
+	CacheMisses   int64
+	InterruptedBs int64
+	DirectIngests int64
+	DirectBytes   int64
+	Scrubs        int64
+	Repairs       int64
+	MVSnapshots   int64
+}
+
+// New assembles OLFS over a rack library, an MV backend (RAID-1 SSDs) and a
+// disk write buffer (cached RAID-5 volumes). The bucket capacity equals the
+// library's disc capacity.
+func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buffer udf.Backend) (*FS, error) {
+	cfg = cfg.withDefaults()
+	discCap := cfg.BucketBytes
+	if discCap <= 0 {
+		discCap = lib.Config().Media.Capacity()
+	}
+	slots := int(buffer.Size() / discCap)
+	if slots < cfg.DataDiscs+cfg.ParityDiscs {
+		return nil, fmt.Errorf("olfs: buffer fits %d bucket slots, need >= %d",
+			slots, cfg.DataDiscs+cfg.ParityDiscs)
+	}
+	mgr, err := bucket.NewManager(env, buffer, discCap, slots)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		env:        env,
+		cfg:        cfg,
+		lib:        lib,
+		MV:         mv.New(env, mvBackend, cfg.MVOpCost),
+		mvStore:    mvBackend,
+		Buckets:    mgr,
+		Cat:        image.NewCatalog(),
+		curMu:      sim.NewResource(env, 1),
+		burnQ:      sim.NewQueue[*burnTask](env),
+		groupFreed: sim.NewSignal(env),
+		groupBusy:  make([]bool, len(lib.Groups)),
+		fetches:    make(map[string]*sim.Completion[int]),
+		mounted:    make(map[*optical.Drive]*udf.Volume),
+	}
+	env.GoDaemon("olfs-btm", fs.burnDaemon)
+	return fs, nil
+}
+
+// Config returns the effective configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Library returns the underlying mechanical library.
+func (fs *FS) Library() *rack.Library { return fs.lib }
+
+// Stop shuts down background daemons (after draining, for tests).
+func (fs *FS) Stop() {
+	if !fs.stopped {
+		fs.stopped = true
+		fs.burnQ.Close()
+		if fs.moverQ != nil {
+			fs.moverQ.Close()
+		}
+	}
+}
+
+// StartTrace begins recording internal operations (Fig 7).
+func (fs *FS) StartTrace() { fs.tracing = true; fs.trace = nil }
+
+// StopTrace stops recording and returns the trace.
+func (fs *FS) StopTrace() []OpTrace {
+	fs.tracing = false
+	t := fs.trace
+	fs.trace = nil
+	return t
+}
+
+// op runs one internal OLFS operation: a kernel-user mode switch followed by
+// the operation body, recorded in the trace.
+func (fs *FS) op(p *sim.Proc, name string, fn func() error) error {
+	p.Sleep(fs.cfg.SwitchCost)
+	start := p.Now()
+	err := fn()
+	if fs.tracing {
+		fs.trace = append(fs.trace, OpTrace{Name: name, Start: start, Dur: p.Now() - start})
+	}
+	return err
+}
+
+// dataOp runs a data (read/write) request. Buffered requests arrive through
+// the FUSE splice path, whose per-chunk switch is charged by the fuse layer,
+// so only DirectIO requests (the Fig 7 tracing mode, one full round trip per
+// op) pay the metadata-grade switch here.
+func (fs *FS) dataOp(p *sim.Proc, name string, fn func() error) error {
+	if fs.cfg.DirectIO {
+		return fs.op(p, name, fn)
+	}
+	start := p.Now()
+	err := fn()
+	if fs.tracing {
+		fs.trace = append(fs.trace, OpTrace{Name: name, Start: start, Dur: p.Now() - start})
+	}
+	return err
+}
+
+// chargeMVOp charges one index-op cost without touching an index (the
+// close/release operations of Fig 7).
+func (fs *FS) chargeMVOp(p *sim.Proc) {
+	p.Sleep(fs.MV.OpCost())
+}
+
+// ensureBucket returns the open bucket, opening one if needed. Caller holds
+// curMu.
+func (fs *FS) ensureBucket(p *sim.Proc) (*bucket.Bucket, error) {
+	if fs.cur != nil && fs.cur.State() == bucket.StateOpen {
+		return fs.cur, nil
+	}
+	b, err := fs.Buckets.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	fs.cur = b
+	return b, nil
+}
+
+// sealCurrent seals the open bucket into an image and triggers the BTM if
+// enough images are ready. Caller holds curMu.
+func (fs *FS) sealCurrent(p *sim.Proc) error {
+	if fs.cur == nil || fs.cur.State() != bucket.StateOpen {
+		return nil
+	}
+	if err := fs.Buckets.Seal(p, fs.cur); err != nil {
+		return err
+	}
+	fs.cur = nil
+	fs.maybeEnqueueBurn()
+	return nil
+}
+
+// Sync seals the current bucket (even if not full) and enqueues any complete
+// burn sets — the flush entry point of the maintenance interface.
+func (fs *FS) Sync(p *sim.Proc) error {
+	fs.curMu.Acquire(p)
+	defer fs.curMu.Release()
+	return fs.sealCurrent(p)
+}
+
+// FlushAndBurn seals the current bucket and forces burn tasks for ALL
+// sealed images, including a trailing partial set (fewer than DataDiscs).
+// The returned completion resolves when every enqueued task finishes, with
+// the first error if any.
+func (fs *FS) FlushAndBurn(p *sim.Proc) (*sim.Completion[error], error) {
+	fs.curMu.Acquire(p)
+	if err := fs.sealCurrent(p); err != nil {
+		fs.curMu.Release()
+		return nil, err
+	}
+	fs.curMu.Release()
+	imgs := fs.Buckets.FilledUnburned()
+	all := sim.NewCompletion[error](fs.env)
+	if len(imgs) == 0 {
+		all.Resolve(nil, nil)
+		return all, nil
+	}
+	var tasks []*sim.Completion[error]
+	for len(imgs) > 0 {
+		n := fs.cfg.DataDiscs
+		if n > len(imgs) {
+			n = len(imgs)
+		}
+		tasks = append(tasks, fs.enqueueBurn(imgs[:n]))
+		imgs = imgs[n:]
+	}
+	fs.env.Go("flush-join", func(jp *sim.Proc) {
+		var firstErr error
+		for _, t := range tasks {
+			if _, err := t.Wait(jp); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		all.Resolve(firstErr, firstErr)
+	})
+	return all, nil
+}
+
+// maybeEnqueueBurn creates burn tasks while full data sets are available.
+func (fs *FS) maybeEnqueueBurn() {
+	if !fs.cfg.AutoBurn {
+		return
+	}
+	for {
+		ready := fs.Buckets.FilledUnburned()
+		if len(ready) < fs.cfg.DataDiscs {
+			return
+		}
+		fs.enqueueBurn(ready[:fs.cfg.DataDiscs])
+	}
+}
+
+// enqueueBurn marks the images burning and queues the task.
+func (fs *FS) enqueueBurn(imgs []*bucket.Bucket) *sim.Completion[error] {
+	for _, b := range imgs {
+		// Ignore errors: FilledUnburned guarantees the filled state.
+		_ = fs.Buckets.MarkBurning(b)
+	}
+	t := &burnTask{
+		images: imgs,
+		done:   sim.NewCompletion[error](fs.env),
+	}
+	fs.BurnTasks++
+	fs.burnQ.Push(t)
+	return t.done
+}

@@ -1,0 +1,317 @@
+package olfs
+
+import (
+	"fmt"
+
+	"ros/internal/image"
+	"ros/internal/mv"
+	"ros/internal/optical"
+	"ros/internal/rack"
+	"ros/internal/sim"
+	"ros/internal/udf"
+)
+
+// partSource is a resolved, readable subfile location.
+type partSource struct {
+	rd  *udf.Reader
+	len int64
+}
+
+// fileReader is an open-for-read OLFS file handle.
+type fileReader struct {
+	fs      *FS
+	path    string
+	entry   mv.VersionEntry
+	off     int64
+	sources []*partSource // resolved lazily per part
+}
+
+// OpenFile resolves path's current version (Fig 7 read prologue: stat).
+func (fs *FS) OpenFile(p *sim.Proc, path string) (*fileReader, error) {
+	if fs.stopped {
+		return nil, ErrStopped
+	}
+	var ix *mv.Index
+	if err := fs.op(p, "stat", func() error {
+		var err error
+		ix, err = fs.MV.Stat(p, path)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if ix.Dir {
+		return nil, fmt.Errorf("olfs: %s is a directory", path)
+	}
+	cur := ix.Current()
+	if cur == nil {
+		return &fileReader{fs: fs, path: path}, nil // empty file
+	}
+	return &fileReader{
+		fs:      fs,
+		path:    path,
+		entry:   *cur,
+		sources: make([]*partSource, len(cur.Parts)),
+	}, nil
+}
+
+// OpenFileVersion resolves a historical version (data provenance, §4.6).
+func (fs *FS) OpenFileVersion(p *sim.Proc, path string, version int) (*fileReader, error) {
+	var ix *mv.Index
+	if err := fs.op(p, "stat", func() error {
+		var err error
+		ix, err = fs.MV.Stat(p, path)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	ve := ix.VersionAt(version)
+	if ve == nil {
+		return nil, fmt.Errorf("olfs: %s has no retained version %d", path, version)
+	}
+	return &fileReader{
+		fs:      fs,
+		path:    path,
+		entry:   *ve,
+		sources: make([]*partSource, len(ve.Parts)),
+	}, nil
+}
+
+// Size returns the file size of the opened version.
+func (fr *fileReader) Size() int64 { return fr.entry.Size }
+
+// Read fills buf from the current offset (one data request).
+func (fr *fileReader) Read(p *sim.Proc, buf []byte) (int, error) {
+	fs := fr.fs
+	var n int
+	err := fs.dataOp(p, "read", func() error {
+		p.Sleep(fs.cfg.ReadReqOverhead)
+		if fs.cfg.DirectIO {
+			fs.chargeMVOp(p)
+		}
+		var err error
+		n, err = fr.readAt(p, buf, fr.off)
+		return err
+	})
+	fr.off += int64(n)
+	fs.BytesRead += int64(n)
+	return n, err
+}
+
+// ReadAt fills buf at an absolute offset without moving the handle.
+func (fr *fileReader) ReadAt(p *sim.Proc, buf []byte, off int64) (int, error) {
+	fs := fr.fs
+	var n int
+	err := fs.dataOp(p, "read", func() error {
+		p.Sleep(fs.cfg.ReadReqOverhead)
+		var err error
+		n, err = fr.readAt(p, buf, off)
+		return err
+	})
+	fs.BytesRead += int64(n)
+	return n, err
+}
+
+// Close releases the handle (Fig 7's trailing close op).
+func (fr *fileReader) Close(p *sim.Proc) error {
+	return fr.fs.op(p, "close", func() error {
+		fr.fs.chargeMVOp(p)
+		fr.fs.FilesRead++
+		return nil
+	})
+}
+
+// readAt maps a logical file offset across the version's parts.
+func (fr *fileReader) readAt(p *sim.Proc, buf []byte, off int64) (int, error) {
+	if off >= fr.entry.Size {
+		return 0, nil
+	}
+	read := 0
+	partStart := int64(0)
+	for i := range fr.entry.Parts {
+		plen := fr.partLen(i)
+		if off+int64(read) < partStart+plen && read < len(buf) {
+			src, err := fr.source(p, i)
+			if err != nil {
+				return read, err
+			}
+			inOff := off + int64(read) - partStart
+			want := plen - inOff
+			if want > int64(len(buf)-read) {
+				want = int64(len(buf) - read)
+			}
+			n, err := src.rd.ReadAt(p, buf[read:read+int(want)], inOff)
+			read += n
+			if err != nil {
+				return read, err
+			}
+			if int64(n) < want {
+				break
+			}
+		}
+		partStart += plen
+	}
+	return read, nil
+}
+
+// partLen returns part i's byte length.
+func (fr *fileReader) partLen(i int) int64 {
+	if i < len(fr.entry.PartLens) {
+		return fr.entry.PartLens[i]
+	}
+	return fr.entry.Size
+}
+
+// source resolves part i to a readable UDF file, walking the Table 1 tier
+// ladder: buffer-resident bucket/image -> disc already in a drive -> disc
+// array fetched from the roller.
+func (fr *fileReader) source(p *sim.Proc, i int) (*partSource, error) {
+	if fr.sources[i] != nil {
+		return fr.sources[i], nil
+	}
+	fs := fr.fs
+	vol, err := fs.mountImage(p, fr.entry.Parts[i])
+	if err != nil {
+		return nil, err
+	}
+	rd, err := vol.OpenReader(p, internalName(fr.path, fr.entry.Version))
+	if err != nil {
+		return nil, err
+	}
+	src := &partSource{rd: rd, len: fr.partLen(i)}
+	fr.sources[i] = src
+	return src, nil
+}
+
+// mountImage makes image id readable: from the buffer (RC hit) or from a
+// disc, fetching its array mechanically if necessary (RC miss -> FTM).
+func (fs *FS) mountImage(p *sim.Proc, id image.ID) (*udf.Volume, error) {
+	// Tier 1/2: buffer-resident bucket or image (Table 1 rows 1-2).
+	if b, ok := fs.Buckets.Resident(id); ok && !b.Raw {
+		fs.Buckets.Touch(b)
+		fs.CacheHits++
+		return b.Vol, nil
+	}
+	fs.CacheMisses++
+	// Tier 3/4: on disc.
+	addr, ok := fs.Cat.Locate(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: image %s", ErrPartMissing, id)
+	}
+	drv, err := fs.driveForDisc(p, addr)
+	if err != nil {
+		return nil, err
+	}
+	return fs.mountDrive(p, drv)
+}
+
+// driveForDisc returns a drive holding the disc at addr, invoking the FTM
+// when the array is still in the roller.
+func (fs *FS) driveForDisc(p *sim.Proc, addr image.DiscAddr) (*optical.Drive, error) {
+	// Already loaded? (Table 1 row 3: "disc in optical drive", 0.223 s.)
+	for _, g := range fs.lib.Groups {
+		if g.Source != nil && *g.Source == addr.Tray {
+			return g.Drives[addr.Pos], nil
+		}
+	}
+	gi, err := fs.fetchTray(p, addr.Tray)
+	if err != nil {
+		return nil, err
+	}
+	return fs.lib.Groups[gi].Drives[addr.Pos], nil
+}
+
+// mountDrive mounts the disc in drv into the local VFS (§5.4: ~220 ms,
+// charged once per inserted disc).
+func (fs *FS) mountDrive(p *sim.Proc, drv *optical.Drive) (*udf.Volume, error) {
+	if v, ok := fs.mounted[drv]; ok {
+		return v, nil
+	}
+	p.Sleep(fs.cfg.VFSMountTime)
+	vol, err := udf.Open(p, optical.ImageView{Drive: drv})
+	if err != nil {
+		return nil, err
+	}
+	fs.mounted[drv] = vol
+	return vol, nil
+}
+
+// unmountGroup forgets mounts for all drives of a group (called before the
+// array is unloaded).
+func (fs *FS) unmountGroup(g *rack.DriveGroup) {
+	for _, d := range g.Drives {
+		delete(fs.mounted, d)
+	}
+}
+
+// ReadFile reads the whole current version of path (stat + reads + close).
+func (fs *FS) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+	fr, err := fs.OpenFile(p, path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, fr.Size())
+	buf := make([]byte, 1<<20)
+	// The size is known from the index, so reads stop at EOF without an
+	// extra zero-length probe (keeps the Fig 7 trace at stat, read*, close).
+	for int64(len(out)) < fr.Size() {
+		n, err := fr.Read(p, buf)
+		if n > 0 {
+			out = append(out, buf[:n]...)
+		}
+		if err != nil {
+			fr.Close(p)
+			return out, err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return out, fr.Close(p)
+}
+
+// ReadFirstByte returns the latency-to-first-byte for path, serving from the
+// MV forepart when the data needs a mechanical fetch (§4.8). It reads one
+// byte; the caller can then ReadFile normally.
+func (fs *FS) ReadFirstByte(p *sim.Proc, path string) (byte, error) {
+	var ix *mv.Index
+	if err := fs.op(p, "stat", func() error {
+		var err error
+		ix, err = fs.MV.Stat(p, path)
+		return err
+	}); err != nil {
+		return 0, err
+	}
+	cur := ix.Current()
+	if cur == nil || cur.Size == 0 {
+		return 0, fmt.Errorf("olfs: %s is empty", path)
+	}
+	if fs.cfg.Forepart && len(ix.Forepart) > 0 {
+		// Forepart hit: answer from MV immediately (~2 ms path).
+		fs.ForepartHits++
+		return ix.Forepart[0], nil
+	}
+	fr := &fileReader{fs: fs, path: path, entry: *cur, sources: make([]*partSource, len(cur.Parts))}
+	buf := make([]byte, 1)
+	if _, err := fr.readAt(p, buf, 0); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+// ReadLocated measures the pure data-access latency of a resolved file — the
+// Table 1 experiment, which isolates the location-dependent component from
+// the POSIX/MV prologue.
+func (fs *FS) ReadLocated(p *sim.Proc, path string) ([]byte, error) {
+	ix, ok := fs.MV.Lookup(path)
+	if !ok {
+		return nil, mv.ErrNotFound
+	}
+	cur := ix.Current()
+	if cur == nil {
+		return nil, nil
+	}
+	fr := &fileReader{fs: fs, path: path, entry: *cur, sources: make([]*partSource, len(cur.Parts))}
+	buf := make([]byte, cur.Size)
+	n, err := fr.readAt(p, buf, 0)
+	return buf[:n], err
+}

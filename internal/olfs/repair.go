@@ -1,0 +1,157 @@
+package olfs
+
+import (
+	"fmt"
+
+	"ros/internal/bucket"
+	"ros/internal/image"
+	"ros/internal/optical"
+	"ros/internal/rack"
+	"ros/internal/sim"
+	"ros/internal/udf"
+)
+
+// ScrubReport summarizes a tray scrub (§4.7: "disc sector-error checking can
+// be scheduled at idle times and can periodically scan all the burned disc
+// arrays").
+type ScrubReport struct {
+	Tray       rack.TrayID
+	Checked    int64   // bytes verified per disc
+	BadStrips  []int64 // strip offsets failing parity/readback
+	DiscErrors int     // discs with injected sector errors encountered
+}
+
+// trayBackends fetches the tray and returns the per-position image views and
+// payload length.
+func (fs *FS) trayBackends(p *sim.Proc, tray rack.TrayID) ([]image.Backend, map[int]image.ID, int64, error) {
+	gi, err := fs.fetchTray(p, tray)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	g := fs.lib.Groups[gi]
+	onTray := fs.Cat.ImagesOnTray(tray)
+	length := int64(0)
+	backends := make([]image.Backend, len(g.Drives))
+	for pos := range g.Drives {
+		backends[pos] = optical.ImageView{Drive: g.Drives[pos]}
+		if id, ok := onTray[pos]; ok {
+			if addr, ok := fs.Cat.Locate(id); ok && addr.Len > length {
+				length = addr.Len
+			}
+		}
+	}
+	if length == 0 {
+		length = udf.BlockSize
+	}
+	return backends, onTray, length, nil
+}
+
+// ScrubTray verifies cross-disc parity for a burned tray, reading every disc
+// through the drives. Sector errors surface as bad strips.
+func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (ScrubReport, error) {
+	rep := ScrubReport{Tray: tray}
+	if fs.Cat.DAState(tray) != image.DAUsed {
+		return rep, fmt.Errorf("olfs: tray %v is not a burned array", tray)
+	}
+	backends, onTray, length, err := fs.trayBackends(p, tray)
+	if err != nil {
+		return rep, err
+	}
+	k := fs.cfg.DataDiscs
+	nImgs := len(onTray)
+	dataN := nImgs - fs.cfg.ParityDiscs
+	if dataN < 1 || dataN > k {
+		return rep, fmt.Errorf("olfs: tray %v holds %d images, inconsistent with %d+%d layout",
+			tray, nImgs, k, fs.cfg.ParityDiscs)
+	}
+	data := backends[:dataN]
+	parity := backends[dataN : dataN+fs.cfg.ParityDiscs]
+	bad, err := image.VerifyParity(p, data, parity, length)
+	if err != nil {
+		return rep, err
+	}
+	rep.Checked = length
+	rep.BadStrips = bad
+	return rep, nil
+}
+
+// RecoverImage reconstructs a data image whose disc is lost or unreadable,
+// using the surviving discs of its tray and the parity image(s). The
+// recovered image lands in a fresh buffer bucket in the Filled state so it
+// can be re-burned to a free disc array (§4.7: "The recovered data can be
+// written to new buckets and finally burned into free disc arrays"). The old
+// disc location is forgotten.
+func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (*bucket.Bucket, error) {
+	addr, ok := fs.Cat.Locate(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: image %s not on disc", ErrPartMissing, id)
+	}
+	backends, onTray, length, err := fs.trayBackends(p, addr.Tray)
+	if err != nil {
+		return nil, err
+	}
+	dataN := len(onTray) - fs.cfg.ParityDiscs
+	if addr.Pos >= dataN {
+		return nil, fmt.Errorf("olfs: %s is a parity image; regenerate instead", id)
+	}
+	data := make([]image.Backend, dataN)
+	for i := 0; i < dataN; i++ {
+		if i != addr.Pos {
+			data[i] = backends[i]
+		}
+	}
+	parity := backends[dataN : dataN+fs.cfg.ParityDiscs]
+	nb, err := fs.Buckets.OpenRaw(p, length)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]image.Backend, dataN)
+	out[addr.Pos] = nb.Backend()
+	if err := image.Recover(p, data, parity, out, length); err != nil {
+		return nil, err
+	}
+	// The recovered bytes are a UDF image: adopt them so reads resolve.
+	vol, err := udf.Open(p, nb.Backend())
+	if err != nil {
+		return nil, fmt.Errorf("olfs: recovered image does not parse: %w", err)
+	}
+	if image.ID(vol.ImageID()) != id {
+		return nil, fmt.Errorf("olfs: recovered image identity mismatch: got %s want %s",
+			image.ID(vol.ImageID()), id)
+	}
+	fs.Buckets.Adopt(nb, vol)
+	fs.Cat.Forget(id)
+	return nb, nil
+}
+
+// RegenerateParity rebuilds a tray's parity image(s) in the buffer from its
+// surviving data discs (for re-burning after parity-disc loss).
+func (fs *FS) RegenerateParity(p *sim.Proc, tray rack.TrayID) ([]*bucket.Bucket, error) {
+	backends, onTray, length, err := fs.trayBackends(p, tray)
+	if err != nil {
+		return nil, err
+	}
+	dataN := len(onTray) - fs.cfg.ParityDiscs
+	if dataN < 1 {
+		return nil, fmt.Errorf("olfs: tray %v has no data images", tray)
+	}
+	var out []*bucket.Bucket
+	var pbs []image.Backend
+	for i := 0; i < fs.cfg.ParityDiscs; i++ {
+		nb, err := fs.Buckets.OpenRaw(p, length)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nb)
+		pbs = append(pbs, nb.Backend())
+	}
+	if err := image.GenerateParity(p, backends[:dataN], pbs, length); err != nil {
+		return nil, err
+	}
+	for _, nb := range out {
+		if err := fs.Buckets.Seal(p, nb); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package olfs
+
+import (
+	"fmt"
+	"time"
+
+	"ros/internal/bucket"
+	"ros/internal/image"
+	"ros/internal/optical"
+	"ros/internal/rack"
+	"ros/internal/sim"
+)
+
+// Idle-time sector-error scanning (§4.7): "disc sector-error checking can be
+// scheduled at idle times and can periodically scan all the burned disc
+// arrays to check sector errors. When sector errors occur, data on the
+// failed sectors can be recovered from their parity discs and the
+// corresponding data discs in the same disc array ... The recovered data can
+// be written to new buckets and finally burned into free disc arrays."
+
+// RepairReport summarizes a scrub-and-repair pass over one tray.
+type RepairReport struct {
+	Scrub     ScrubReport
+	BadDiscs  []int                  // positions whose discs failed readback
+	Recovered []image.ID             // images reconstructed into fresh buckets
+	ReBurn    *sim.Completion[error] // non-nil when recovered images were queued to burn
+}
+
+// ScrubAndRepair scrubs a burned tray; if parity mismatches or unreadable
+// discs are found, the affected data images are reconstructed from the
+// surviving discs into new buckets and queued for re-burning onto a free
+// array.
+func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (RepairReport, error) {
+	var rep RepairReport
+	scrub, err := fs.ScrubTray(p, tray)
+	rep.Scrub = scrub
+	if err != nil {
+		return rep, err
+	}
+	if len(scrub.BadStrips) == 0 {
+		return rep, nil
+	}
+	// Probe each disc at the bad strips to find the failing positions.
+	gi, err := fs.fetchTray(p, tray)
+	if err != nil {
+		return rep, err
+	}
+	g := fs.lib.Groups[gi]
+	onTray := fs.Cat.ImagesOnTray(tray)
+	// Probe whole strips: a latent sector error can sit anywhere inside the
+	// 1 MB strip that failed verification.
+	const stripLen = 1 << 20
+	probe := make([]byte, stripLen)
+	for pos := range onTray {
+		view := optical.ImageView{Drive: g.Drives[pos]}
+		bad := false
+		for _, off := range scrub.BadStrips {
+			n := int64(stripLen)
+			if off+n > rep.Scrub.Checked {
+				n = rep.Scrub.Checked - off
+			}
+			if n <= 0 {
+				continue
+			}
+			if err := view.ReadAt(p, probe[:n], off); err != nil {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			rep.BadDiscs = append(rep.BadDiscs, pos)
+		}
+	}
+	if len(rep.BadDiscs) == 0 {
+		// Parity mismatch without a read error: silent corruption. Rebuild
+		// fresh parity into the buffer as a repair artifact and retire the
+		// tray from the scrub rotation (degraded; readable discs stay
+		// readable through the catalog).
+		bks, err := fs.RegenerateParity(p, tray)
+		if err != nil {
+			return rep, err
+		}
+		for _, b := range bks {
+			rep.Recovered = append(rep.Recovered, b.ID)
+		}
+		fs.Cat.SetDAState(tray, image.DAFailed)
+		return rep, nil
+	}
+	// Reconstruct each failed data image into the buffer.
+	dataN := len(onTray) - fs.cfg.ParityDiscs
+	var recovered []*bucket.Bucket
+	for _, pos := range rep.BadDiscs {
+		if pos >= dataN {
+			continue // parity positions are regenerated, not recovered
+		}
+		id := onTray[pos]
+		nb, err := fs.RecoverImage(p, id)
+		if err != nil {
+			return rep, fmt.Errorf("olfs: repair of %s: %w", id, err)
+		}
+		recovered = append(recovered, nb)
+		rep.Recovered = append(rep.Recovered, id)
+	}
+	if len(recovered) > 0 {
+		for _, b := range recovered {
+			_ = fs.Buckets.MarkBurning(b)
+		}
+		rep.ReBurn = fs.enqueueBurn(recovered)
+		fs.Repairs++
+	}
+	// The tray is degraded: the recovered images now live elsewhere, so its
+	// parity no longer covers its remaining discs. Retire it from the scrub
+	// rotation; surviving images stay readable via the catalog (§4.1's
+	// Failed state).
+	fs.Cat.SetDAState(tray, image.DAFailed)
+	return rep, nil
+}
+
+// StartScrubber launches the idle-time scrub daemon: every interval it picks
+// the next burned tray (round-robin) and, when a drive group is free, scrubs
+// and repairs it. Returns a stop function.
+func (fs *FS) StartScrubber(interval time.Duration) func() {
+	if interval <= 0 {
+		interval = time.Hour
+	}
+	stop := false
+	fs.env.GoDaemon("olfs-scrubber", func(p *sim.Proc) {
+		next := 0
+		for !stop {
+			p.Sleep(interval)
+			if stop || fs.stopped {
+				return
+			}
+			// Only scrub when a group is idle (don't steal from burns/reads).
+			idle := false
+			for gi, g := range fs.lib.Groups {
+				if !fs.groupBusy[gi] && !g.AnyBurning() {
+					idle = true
+					break
+				}
+			}
+			if !idle {
+				continue
+			}
+			trays := usedTrayList(fs)
+			if len(trays) == 0 {
+				continue
+			}
+			tray := trays[next%len(trays)]
+			next++
+			if _, err := fs.ScrubAndRepair(p, tray); err != nil {
+				continue // scrubbing is best-effort; the next pass retries
+			}
+			fs.Scrubs++
+		}
+	})
+	return func() { stop = true }
+}
+
+// usedTrayList returns trays in Used state, deterministically ordered.
+func usedTrayList(fs *FS) []rack.TrayID {
+	var out []rack.TrayID
+	for k, st := range fs.Cat.DA {
+		if st != image.DAUsed {
+			continue
+		}
+		var id rack.TrayID
+		if _, err := fmt.Sscanf(k, "r%d/L%d/S%d", &id.Roller, &id.Layer, &id.Slot); err == nil {
+			out = append(out, id)
+		}
+	}
+	// Insertion sort by (roller, layer desc, slot) for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && trayLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func trayLess(a, b rack.TrayID) bool {
+	if a.Roller != b.Roller {
+		return a.Roller < b.Roller
+	}
+	if a.Layer != b.Layer {
+		return a.Layer > b.Layer
+	}
+	return a.Slot < b.Slot
+}
+
+// StartMVSnapshots launches the periodic MV-to-disc checkpoint daemon
+// (§4.2: "MV is periodically burned into discs"). Each tick checkpoints MV
+// to its RAID-1 backend and writes a burnable snapshot into the namespace.
+func (fs *FS) StartMVSnapshots(interval time.Duration) func() {
+	if interval <= 0 {
+		interval = 24 * time.Hour
+	}
+	stop := false
+	fs.env.GoDaemon("olfs-mvsnap", func(p *sim.Proc) {
+		for !stop {
+			p.Sleep(interval)
+			if stop || fs.stopped {
+				return
+			}
+			if err := fs.Checkpoint(p); err != nil {
+				continue
+			}
+			if _, err := fs.BurnMVSnapshot(p); err != nil {
+				continue
+			}
+			fs.MVSnapshots++
+		}
+	})
+	return func() { stop = true }
+}

@@ -1,0 +1,409 @@
+package olfs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ros/internal/bucket"
+	"ros/internal/image"
+	"ros/internal/optical"
+	"ros/internal/rack"
+	"ros/internal/sim"
+	"ros/internal/udf"
+)
+
+// burnTask is one disc-array burn: k data images plus lazily generated
+// parity images, burned onto the 12 discs of an empty tray (BTM + DB + MC).
+type burnTask struct {
+	images   []*bucket.Bucket // data images
+	parity   []*bucket.Bucket // generated on first run (delayed parity, §4.7)
+	done     *sim.Completion[error]
+	tray     *rack.TrayID
+	progress []burnProg // per-position progress for append-mode resume
+	resumed  bool
+	attempts int
+}
+
+type burnProg struct {
+	logical int64 // logical bytes burned so far
+	payload int64 // payload bytes copied so far
+}
+
+// offsetSource adapts an image backend into a BurnSource continuing at base.
+type offsetSource struct {
+	b    udf.Backend
+	base int64
+	size int64
+}
+
+func (s offsetSource) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	return s.b.ReadAt(p, buf, s.base+off)
+}
+func (s offsetSource) Size() int64 { return s.size }
+
+// usedBytes returns the payload size of an image bucket, 2 KB aligned.
+func usedBytes(b *bucket.Bucket) int64 {
+	u := b.Used()
+	if r := u % udf.BlockSize; r != 0 {
+		u += udf.BlockSize - r
+	}
+	return u
+}
+
+// burnDaemon consumes the burn queue; each task runs as its own process so
+// multiple drive groups can burn concurrently.
+func (fs *FS) burnDaemon(p *sim.Proc) {
+	for {
+		t, ok := fs.burnQ.Pop(p)
+		if !ok {
+			return
+		}
+		task := t
+		fs.env.Go("olfs-burn", func(tp *sim.Proc) {
+			fs.runBurnTask(tp, task)
+		})
+	}
+}
+
+// runBurnTask drives one task to completion (or failure), re-queueing itself
+// after an interrupt.
+func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
+	if t.parity == nil && fs.cfg.ParityDiscs > 0 {
+		if err := fs.generateParity(p, t); err != nil {
+			fs.failBurn(p, t, err)
+			return
+		}
+	}
+	if t.tray == nil {
+		tray, ok := fs.Cat.FindEmptyTray(fs.lib)
+		if !ok {
+			fs.failBurn(p, t, ErrNoBlankTray)
+			return
+		}
+		t.tray = &tray
+		// Reserve immediately ("DAindex_i will be modified to Used when disc
+		// array i is used", §4.1) so a concurrent task can't pick it too.
+		fs.Cat.SetDAState(tray, image.DAUsed)
+	}
+	all := append(append([]*bucket.Bucket(nil), t.images...), t.parity...)
+	if t.progress == nil {
+		t.progress = make([]burnProg, len(all))
+	}
+
+	gi, err := fs.acquireGroupForBurn(p, *t.tray)
+	if err != nil {
+		fs.failBurn(p, t, err)
+		return
+	}
+	g := fs.lib.Groups[gi]
+	discCap := fs.lib.Config().Media.Capacity()
+
+	// Burn all images in parallel with staggered starts (Fig 9).
+	type result struct {
+		rep optical.BurnReport
+		err error
+	}
+	comps := make([]*sim.Completion[result], len(all))
+	for i := range all {
+		i := i
+		img := all[i]
+		comps[i] = sim.NewCompletion[result](fs.env)
+		c := comps[i]
+		fs.env.Go(fmt.Sprintf("burn-%s-d%d", t.tray, i), func(bp *sim.Proc) {
+			bp.Sleep(time.Duration(i) * fs.cfg.BurnStagger)
+			pr := &t.progress[i]
+			if pr.logical >= discCap {
+				c.Resolve(result{}, nil) // this disc already finished pre-interrupt
+				return
+			}
+			payload := usedBytes(img)
+			src := offsetSource{b: img.Backend(), base: pr.payload, size: maxI64(0, payload-pr.payload)}
+			rep, err := g.Drives[i].Burn(bp, src, optical.BurnOptions{
+				LogicalBytes: discCap - pr.logical,
+				Append:       pr.logical > 0,
+			})
+			pr.logical += rep.LogicalBytes
+			pr.payload += rep.PayloadBytes
+			c.Resolve(result{rep: rep}, err)
+		})
+	}
+	interrupted := false
+	var firstErr error
+	for _, c := range comps {
+		r, err := c.Wait(p)
+		_ = r
+		if err != nil {
+			if errors.Is(err, optical.ErrBurnAborted) {
+				interrupted = true
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+
+	fs.unmountGroup(g)
+	unloadErr := fs.lib.UnloadArray(p, gi, nil)
+	fs.groupBusy[gi] = false
+	fs.groupFreed.Pulse()
+	if unloadErr != nil && firstErr == nil {
+		firstErr = unloadErr
+	}
+
+	switch {
+	case firstErr != nil:
+		// Hard failure: mark the tray Failed and retry once on a new tray.
+		fs.Cat.SetDAState(*t.tray, image.DAFailed)
+		t.tray = nil
+		t.progress = nil
+		t.attempts++
+		if t.attempts < 2 {
+			fs.burnQ.Push(t)
+			return
+		}
+		fs.failBurn(p, t, firstErr)
+	case interrupted:
+		// A fetch preempted us (§4.8 interrupt policy): requeue to resume
+		// with append-mode burning on the same tray.
+		fs.InterruptedBs++
+		t.resumed = true
+		fs.BurnResumes++
+		fs.burnQ.Push(t)
+	default:
+		fs.finishBurn(p, t, all)
+	}
+}
+
+// generateParity allocates parity slots and computes P (and Q) across the
+// data images (DIM, §4.7).
+func (fs *FS) generateParity(p *sim.Proc, t *burnTask) error {
+	length := int64(0)
+	data := make([]image.Backend, len(t.images))
+	for i, b := range t.images {
+		data[i] = b.Backend()
+		if u := usedBytes(b); u > length {
+			length = u
+		}
+	}
+	if length == 0 {
+		length = udf.BlockSize
+	}
+	for i := 0; i < fs.cfg.ParityDiscs; i++ {
+		pb, err := fs.Buckets.OpenRaw(p, length)
+		if err != nil {
+			return err
+		}
+		t.parity = append(t.parity, pb)
+	}
+	par := make([]image.Backend, len(t.parity))
+	for i, b := range t.parity {
+		par[i] = b.Backend()
+	}
+	if err := image.GenerateParity(p, data, par, length); err != nil {
+		return err
+	}
+	for _, b := range t.parity {
+		if err := fs.Buckets.Seal(p, b); err != nil {
+			return err
+		}
+		if err := fs.Buckets.MarkBurning(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishBurn records catalog state and releases buffer copies.
+func (fs *FS) finishBurn(p *sim.Proc, t *burnTask, all []*bucket.Bucket) {
+	for i, b := range all {
+		fs.Cat.Place(b.ID, image.DiscAddr{Tray: *t.tray, Pos: i, Len: usedBytes(b)})
+		_ = fs.Buckets.MarkBurned(b)
+		if fs.cfg.RecycleAfterBurn {
+			_ = fs.Buckets.Recycle(p, b)
+		}
+	}
+	fs.Cat.SetDAState(*t.tray, image.DAUsed)
+	_ = fs.MV.SaveState(p, "catalog", fs.Cat)
+	t.done.Resolve(nil, nil)
+}
+
+// failBurn returns images to the filled state and resolves the task with an
+// error.
+func (fs *FS) failBurn(p *sim.Proc, t *burnTask, err error) {
+	for _, b := range append(append([]*bucket.Bucket(nil), t.images...), t.parity...) {
+		if b.State() == bucket.StateBurning {
+			_ = fs.Buckets.MarkBurnFailed(b)
+		}
+	}
+	t.done.Resolve(err, err)
+}
+
+// acquireGroupForBurn finds a drive group and loads the blank tray into it.
+func (fs *FS) acquireGroupForBurn(p *sim.Proc, tray rack.TrayID) (int, error) {
+	for {
+		// Prefer a group with no discs.
+		for gi, g := range fs.lib.Groups {
+			if fs.groupBusy[gi] || g.Loaded() {
+				continue
+			}
+			fs.groupBusy[gi] = true
+			if err := fs.lib.LoadArray(p, tray, gi); err != nil {
+				fs.groupBusy[gi] = false
+				return 0, err
+			}
+			return gi, nil
+		}
+		// Otherwise evict an idle (non-burning, non-busy) group.
+		for gi, g := range fs.lib.Groups {
+			if fs.groupBusy[gi] || !g.Loaded() || g.AnyBurning() {
+				continue
+			}
+			fs.groupBusy[gi] = true
+			fs.unmountGroup(g)
+			if err := fs.lib.UnloadArray(p, gi, nil); err != nil {
+				fs.groupBusy[gi] = false
+				return 0, err
+			}
+			if err := fs.lib.LoadArray(p, tray, gi); err != nil {
+				fs.groupBusy[gi] = false
+				return 0, err
+			}
+			return gi, nil
+		}
+		fs.groupFreed.Wait(p)
+	}
+}
+
+// PrefetchTray explicitly loads a tray into drive group gi (maintenance
+// interface), swapping out any idle array first. Fails if the group is
+// burning.
+func (fs *FS) PrefetchTray(p *sim.Proc, tray rack.TrayID, gi int) error {
+	g, err := fs.lib.Group(gi)
+	if err != nil {
+		return err
+	}
+	if g.Source != nil && *g.Source == tray {
+		return nil
+	}
+	if fs.groupBusy[gi] || g.AnyBurning() {
+		return fmt.Errorf("olfs: group %d busy", gi)
+	}
+	fs.groupBusy[gi] = true
+	defer func() {
+		fs.groupBusy[gi] = false
+		fs.groupFreed.Pulse()
+	}()
+	// If another group holds the requested tray, put that array back first.
+	for ogi, og := range fs.lib.Groups {
+		if ogi == gi || og.Source == nil || *og.Source != tray {
+			continue
+		}
+		if fs.groupBusy[ogi] || og.AnyBurning() {
+			return fmt.Errorf("olfs: tray %v pinned in busy group %d", tray, ogi)
+		}
+		fs.groupBusy[ogi] = true
+		fs.unmountGroup(og)
+		err := fs.lib.UnloadArray(p, ogi, nil)
+		fs.groupBusy[ogi] = false
+		if err != nil {
+			return err
+		}
+	}
+	if g.Loaded() {
+		fs.unmountGroup(g)
+		if err := fs.lib.UnloadArray(p, gi, nil); err != nil {
+			return err
+		}
+	}
+	return fs.lib.LoadArray(p, tray, gi)
+}
+
+// fetchTray brings the disc array holding requested data into a drive group
+// (FTM). Concurrent fetches of the same tray coalesce. Returns the group
+// index now holding the tray.
+func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID) (int, error) {
+	for {
+		// Already loaded?
+		for gi, g := range fs.lib.Groups {
+			if g.Source != nil && *g.Source == tray {
+				return gi, nil
+			}
+		}
+		key := tray.String()
+		if c, ok := fs.fetches[key]; ok {
+			// Coalesce with the in-flight fetch, then re-verify.
+			if _, err := c.Wait(p); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		c := sim.NewCompletion[int](fs.env)
+		fs.fetches[key] = c
+		gi, err := fs.runFetch(p, tray)
+		delete(fs.fetches, key)
+		c.Resolve(gi, err)
+		return gi, err
+	}
+}
+
+// runFetch performs the mechanical fetch per the configured read policy.
+func (fs *FS) runFetch(p *sim.Proc, tray rack.TrayID) (int, error) {
+	fs.FetchTasks++
+	for {
+		// Case: a group with free drives (Table 1 row 4, ~70 s).
+		for gi, g := range fs.lib.Groups {
+			if fs.groupBusy[gi] || g.Loaded() {
+				continue
+			}
+			fs.groupBusy[gi] = true
+			err := fs.lib.LoadArray(p, tray, gi)
+			fs.groupBusy[gi] = false
+			fs.groupFreed.Pulse()
+			if err != nil {
+				return 0, err
+			}
+			return gi, nil
+		}
+		// Case: an idle loaded group (Table 1 row 5, ~155 s: unload+load).
+		for gi, g := range fs.lib.Groups {
+			if fs.groupBusy[gi] || !g.Loaded() || g.AnyBurning() {
+				continue
+			}
+			fs.groupBusy[gi] = true
+			fs.unmountGroup(g)
+			err := fs.lib.UnloadArray(p, gi, nil)
+			if err == nil {
+				err = fs.lib.LoadArray(p, tray, gi)
+			}
+			fs.groupBusy[gi] = false
+			fs.groupFreed.Pulse()
+			if err != nil {
+				return 0, err
+			}
+			return gi, nil
+		}
+		// Case: every group is burning (Table 1 row 6, "minutes").
+		if fs.cfg.ReadPolicy == InterruptBurn {
+			for _, g := range fs.lib.Groups {
+				if g.AnyBurning() {
+					// Abort at the next chunk boundary; the burn task will
+					// unload, requeue itself in append mode, and pulse.
+					for _, d := range g.Drives {
+						if d.State() == optical.StateBurning {
+							d.InterruptBurn()
+						}
+					}
+					break
+				}
+			}
+		}
+		fs.groupFreed.Wait(p)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

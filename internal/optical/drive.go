@@ -1,0 +1,561 @@
+package optical
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ros/internal/sim"
+)
+
+// Drive-level errors.
+var (
+	ErrNoDisc       = errors.New("optical: no disc in drive")
+	ErrDriveBusy    = errors.New("optical: drive busy")
+	ErrDriveLoaded  = errors.New("optical: drive already holds a disc")
+	ErrBurnAborted  = errors.New("optical: burn interrupted")
+	ErrReadOnlyPath = errors.New("optical: discs are written only by burning")
+)
+
+// DriveState is the drive's lifecycle state.
+type DriveState int
+
+// Drive states.
+const (
+	StateSleep DriveState = iota // powered down, tray closed, no disc spun up
+	StateIdle                    // spun up with a disc mounted
+	StateEmpty                   // awake, no disc
+	StateReading
+	StateBurning
+)
+
+func (s DriveState) String() string {
+	switch s {
+	case StateSleep:
+		return "sleep"
+	case StateIdle:
+		return "idle"
+	case StateEmpty:
+		return "empty"
+	case StateReading:
+		return "reading"
+	case StateBurning:
+		return "burning"
+	}
+	return "unknown"
+}
+
+// Timing constants measured by the paper (§5.4).
+const (
+	// SpinUpTime is the "drive mounting disc" delay (~2 s), paid when the
+	// drive was asleep.
+	SpinUpTime = 2 * time.Second
+	// TrayTime covers tray open/close during load/eject.
+	TrayTime = 1500 * time.Millisecond
+	// SeekTime is the optical head seek for a non-sequential read (~100 ms).
+	SeekTime = 100 * time.Millisecond
+	// AppendFormatTime is the metadata-area formatting delay when starting
+	// an append-mode track ("tens of seconds", §2.1/§4.8).
+	AppendFormatTime = 30 * time.Second
+)
+
+// readSpeed returns the single-drive sustained read rate (Table 2).
+func readSpeed(m MediaType) float64 {
+	switch m {
+	case Media25, Media25RW:
+		return 24.1e6
+	case Media100:
+		return 18.0e6
+	}
+	return 0
+}
+
+// contentionLoss is the per-extra-active-drive efficiency loss on the shared
+// SATA/HBA path. Calibrated so 12 concurrent readers aggregate to the
+// paper's Table 2: 25 GB 12x24.1 -> 282.5 MB/s, 100 GB 12x18.0 -> 210.2 MB/s.
+const contentionLoss = 0.0023
+
+// Sharer models the drive group's shared controller path: a small
+// per-active-drive efficiency loss for reads, and an aggregate bandwidth cap
+// for burning (the buffer-to-drive pipeline that shapes Fig 9).
+type Sharer struct {
+	env         *sim.Env
+	BurnCap     float64 // aggregate burn bytes/sec; 0 = uncapped
+	activeRead  int
+	burnDemand  float64 // sum of nominal demands of active burners
+	burnerCount int
+}
+
+// NewSharer creates a controller path model. burnCap of 0 disables the
+// aggregate burn throttle.
+func NewSharer(env *sim.Env, burnCap float64) *Sharer {
+	return &Sharer{env: env, BurnCap: burnCap}
+}
+
+// readFactor returns the efficiency multiplier for one reader given current
+// concurrency.
+func (s *Sharer) readFactor() float64 {
+	f := 1 - contentionLoss*float64(s.activeRead-1)
+	if f < 0.5 {
+		f = 0.5
+	}
+	return f
+}
+
+// burnFactor returns the throttle multiplier for burning drives.
+func (s *Sharer) burnFactor() float64 {
+	if s.BurnCap <= 0 || s.burnDemand <= s.BurnCap {
+		return 1
+	}
+	return s.BurnCap / s.burnDemand
+}
+
+// SpeedSample is one point of a recording-speed curve (Figs 8-10).
+type SpeedSample struct {
+	T        time.Duration // virtual time since burn start
+	Progress float64       // fraction of logical capacity burned
+	SpeedX   float64       // instantaneous speed in Blu-ray X units
+}
+
+// BurnReport summarizes a completed (or interrupted) burn.
+type BurnReport struct {
+	Duration     time.Duration
+	LogicalBytes int64
+	PayloadBytes int64
+	AvgSpeedX    float64
+	Samples      []SpeedSample
+	Interrupted  bool
+}
+
+// BurnSource supplies image payload to the drive in sequential chunks,
+// charging its own (buffer-side) virtual time. Read must fill buf from image
+// offset off.
+type BurnSource interface {
+	ReadAt(p *sim.Proc, buf []byte, off int64) error
+	Size() int64
+}
+
+// Drive is one optical drive. Methods must run in simulation processes; a
+// drive serves one operation at a time (guarded by its busy resource).
+type Drive struct {
+	env    *sim.Env
+	ID     string
+	sharer *Sharer
+	state  DriveState
+	disc   *Disc
+	busy   *sim.Resource
+	head   int64 // current optical head position for seek modeling
+	cold   bool  // disc inserted by the arm but not yet spun up
+
+	// interrupt is set by InterruptBurn and checked at chunk boundaries.
+	interrupt bool
+
+	// Stats.
+	BytesBurned int64
+	BytesRead   int64
+	Burns       int
+	Loads       int
+}
+
+// NewDrive creates a drive attached to the given controller sharer (which
+// may be shared by a 12-drive group). Drives start asleep and empty.
+func NewDrive(env *sim.Env, id string, sharer *Sharer) *Drive {
+	if sharer == nil {
+		sharer = NewSharer(env, 0)
+	}
+	return &Drive{env: env, ID: id, sharer: sharer, state: StateSleep, busy: sim.NewResource(env, 1)}
+}
+
+// State returns the drive's current state.
+func (dr *Drive) State() DriveState { return dr.state }
+
+// Disc returns the loaded disc, or nil.
+func (dr *Drive) Disc() *Disc { return dr.disc }
+
+// Loaded reports whether a disc is present.
+func (dr *Drive) Loaded() bool { return dr.disc != nil }
+
+// Idle reports whether the drive holds no disc and is not operating — i.e.
+// it can accept a new disc.
+func (dr *Drive) Idle() bool {
+	return dr.disc == nil && (dr.state == StateSleep || dr.state == StateEmpty)
+}
+
+// Load inserts a disc (the robotic arm has already placed it on the open
+// tray). Charges tray close plus spin-up when waking from sleep.
+func (dr *Drive) Load(p *sim.Proc, d *Disc) error {
+	dr.busy.Acquire(p)
+	defer dr.busy.Release()
+	if dr.disc != nil {
+		return fmt.Errorf("%w: %s", ErrDriveLoaded, dr.ID)
+	}
+	cost := TrayTime
+	if dr.state == StateSleep {
+		cost += SpinUpTime
+	}
+	p.Sleep(cost)
+	dr.disc = d
+	dr.state = StateIdle
+	dr.head = 0
+	dr.Loads++
+	return nil
+}
+
+// ArmLoad inserts a disc with no time charge: the robotic arm's SEPARATE
+// operation (61 s for 12 discs) already accounts for the mechanical
+// placement. The drive spins up lazily on first access (SpinUpTime), which
+// is how Table 1's 70.5 s roller-read latency decomposes.
+func (dr *Drive) ArmLoad(d *Disc) error {
+	if dr.disc != nil {
+		return fmt.Errorf("%w: %s", ErrDriveLoaded, dr.ID)
+	}
+	dr.disc = d
+	dr.state = StateIdle
+	dr.head = 0
+	dr.cold = true
+	dr.Loads++
+	return nil
+}
+
+// ArmEject removes the disc with no time charge (covered by COLLECT).
+func (dr *Drive) ArmEject() (*Disc, error) {
+	if dr.disc == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
+	}
+	d := dr.disc
+	dr.disc = nil
+	dr.state = StateEmpty
+	dr.cold = false
+	return d, nil
+}
+
+// warmUp charges the lazy spin-up for arm-loaded discs.
+func (dr *Drive) warmUp(p *sim.Proc) {
+	if dr.cold {
+		p.Sleep(SpinUpTime)
+		dr.cold = false
+	}
+}
+
+// Eject removes and returns the disc.
+func (dr *Drive) Eject(p *sim.Proc) (*Disc, error) {
+	dr.busy.Acquire(p)
+	defer dr.busy.Release()
+	if dr.disc == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
+	}
+	p.Sleep(TrayTime)
+	d := dr.disc
+	dr.disc = nil
+	dr.state = StateEmpty
+	return d, nil
+}
+
+// Sleep powers the drive down (next Load pays spin-up).
+func (dr *Drive) Sleep() {
+	if dr.state == StateEmpty || dr.state == StateIdle {
+		if dr.disc == nil {
+			dr.state = StateSleep
+		}
+	}
+}
+
+// nominalSpeedX returns the drive's instantaneous recording speed in X units
+// at burn progress pr in [0,1].
+//
+// 25 GB media (Fig 8): constant linear velocity with the motor accelerating
+// linearly in time from ~4.4X at the inner tracks to 12X at the outer edge;
+// expressed over progress that is v(pr) = sqrt(v0^2 + pr*(v1^2 - v0^2)),
+// giving the paper's 8.2X average and 675 s per disc.
+//
+// 100 GB media (Fig 10): constant 6X with fail-safe decelerations to 4X
+// when servo disturbance is detected (~3.4% of steps), averaging 5.9X and
+// 3757 s per disc.
+func (dr *Drive) nominalSpeedX(pr float64, dip bool) float64 {
+	switch dr.disc.Type {
+	case Media25:
+		const v0, v1 = 4.4, 12.0
+		return math.Sqrt(v0*v0 + pr*(v1*v1-v0*v0))
+	case Media100:
+		if dip {
+			return 4.0
+		}
+		return 6.0
+	case Media25RW:
+		return 2.0 // §2.1: "re-write with relatively low burning speed (2X)"
+	}
+	return 1
+}
+
+// Erase blanks a rewritable disc (one full 2X pass over the media),
+// consuming one of its limited erase cycles (§2.1).
+func (dr *Drive) Erase(p *sim.Proc) error {
+	dr.busy.Acquire(p)
+	defer dr.busy.Release()
+	if dr.disc == nil {
+		return fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
+	}
+	dr.warmUp(p)
+	if !dr.disc.Type.Rewritable() {
+		return fmt.Errorf("%w: %s", ErrNotRewritable, dr.disc.Type)
+	}
+	p.Sleep(time.Duration(float64(dr.disc.Capacity()) / (2.0 * BluRay1X) * float64(time.Second)))
+	return dr.disc.erase()
+}
+
+// dipProbability is the per-chunk probability of a fail-safe speed dip for
+// 100 GB media, calibrated to a 5.9X average.
+const dipProbability = 0.034
+
+// burnChunks is the number of quanta a burn is divided into; each quantum
+// re-samples speed, the group throttle and the interrupt flag.
+const burnChunks = 500
+
+// shortSeekWindow is the head-travel distance served by a short hop instead
+// of a full-stroke seek.
+const shortSeekWindow = 16 << 20
+
+// BurnOptions control a burn session.
+type BurnOptions struct {
+	// LogicalBytes is the image size driving the timing model. If zero, the
+	// disc's remaining capacity is burned (write-all-once of a full image).
+	LogicalBytes int64
+	// Append starts a pseudo-overwrite track: pays AppendFormatTime and the
+	// per-track metadata-zone capacity loss (§2.1).
+	Append bool
+	// OnSample, if set, receives speed samples for figure generation.
+	OnSample func(SpeedSample)
+}
+
+// Burn records an image onto the loaded disc in write-all-once mode: the
+// payload is streamed from src and the remainder of LogicalBytes (sparse
+// zeros) advances the watermark. Returns a report with the speed curve.
+func (dr *Drive) Burn(p *sim.Proc, src BurnSource, opts BurnOptions) (BurnReport, error) {
+	dr.busy.Acquire(p)
+	defer dr.busy.Release()
+	var rep BurnReport
+	if dr.disc == nil {
+		return rep, fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
+	}
+	dr.warmUp(p)
+	if dr.disc.Blank() == false && !opts.Append {
+		return rep, fmt.Errorf("%w: disc %s already burned (use Append)", ErrWORMViolation, dr.disc.ID)
+	}
+	logical := opts.LogicalBytes
+	if logical <= 0 {
+		logical = dr.disc.Remaining()
+		if opts.Append && len(dr.disc.tracks) > 0 {
+			logical -= TrackMetaZone
+		}
+	}
+	payload := int64(0)
+	if src != nil {
+		payload = src.Size()
+	}
+	if payload > logical {
+		return rep, fmt.Errorf("optical: payload %d exceeds logical size %d", payload, logical)
+	}
+	if _, err := dr.disc.beginTrack(logical); err != nil {
+		return rep, err
+	}
+	dr.state = StateBurning
+	defer func() { dr.state = StateIdle }()
+	dr.interrupt = false
+	if opts.Append && len(dr.disc.tracks) > 1 {
+		p.Sleep(AppendFormatTime)
+	}
+	start := p.Now()
+	dr.sharer.burnerCount++
+	myDemand := 0.0
+	defer func() {
+		dr.sharer.burnerCount--
+		dr.sharer.burnDemand -= myDemand
+	}()
+
+	chunkLogical := logical / burnChunks
+	if chunkLogical < 1 {
+		chunkLogical = 1
+	}
+	buf := make([]byte, 0)
+	var burnedLogical, copied int64
+	rng := dr.env.Rand()
+	for burnedLogical < logical {
+		if dr.interrupt {
+			rep.Interrupted = true
+			break
+		}
+		n := chunkLogical
+		if burnedLogical+n > logical {
+			n = logical - burnedLogical
+		}
+		pr := float64(burnedLogical) / float64(logical)
+		dip := dr.disc.Type == Media100 && rng.Float64() < dipProbability
+		vx := dr.nominalSpeedX(pr, dip)
+		demand := vx * BluRay1X
+		// Update this drive's registered demand and apply the group throttle.
+		dr.sharer.burnDemand += demand - myDemand
+		myDemand = demand
+		eff := demand * dr.sharer.burnFactor()
+		if opts.OnSample != nil {
+			opts.OnSample(SpeedSample{T: p.Now() - start, Progress: pr, SpeedX: eff / BluRay1X})
+		}
+		// Stream the corresponding payload range from the buffer.
+		if copied < payload {
+			cn := n
+			if copied+cn > payload {
+				cn = payload - copied
+			}
+			if int64(len(buf)) < cn {
+				buf = make([]byte, cn)
+			}
+			if err := src.ReadAt(p, buf[:cn], copied); err != nil {
+				return rep, fmt.Errorf("optical: burn source read: %w", err)
+			}
+			if err := dr.disc.burnBytes(buf[:cn]); err != nil {
+				return rep, err
+			}
+			if cn < n {
+				if err := dr.disc.extendWatermark(n - cn); err != nil {
+					return rep, err
+				}
+			}
+			copied += cn
+		} else {
+			if err := dr.disc.extendWatermark(n); err != nil {
+				return rep, err
+			}
+		}
+		p.Sleep(time.Duration(float64(n) / eff * float64(time.Second)))
+		burnedLogical += n
+		dr.BytesBurned += n
+	}
+	rep.Duration = p.Now() - start
+	rep.LogicalBytes = burnedLogical
+	rep.PayloadBytes = copied
+	if rep.Duration > 0 {
+		rep.AvgSpeedX = float64(burnedLogical) / rep.Duration.Seconds() / BluRay1X
+	}
+	dr.Burns++
+	if rep.Interrupted {
+		return rep, ErrBurnAborted
+	}
+	return rep, nil
+}
+
+// InterruptBurn requests that an in-progress burn stop at the next chunk
+// boundary — the §4.8 "immediately interrupt the current disc array burning"
+// read policy. The burn returns ErrBurnAborted; the disc keeps its partial
+// track and can later be resumed with Append mode.
+func (dr *Drive) InterruptBurn() { dr.interrupt = true }
+
+// ReadAt reads from the loaded disc at the media's sustained rate, charging
+// a head seek for non-sequential access and the group contention factor.
+func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	dr.busy.Acquire(p)
+	defer dr.busy.Release()
+	if dr.disc == nil {
+		return fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
+	}
+	dr.warmUp(p)
+	prev := dr.state
+	dr.state = StateReading
+	defer func() { dr.state = prev }()
+	t := time.Duration(0)
+	if off != dr.head {
+		dist := off - dr.head
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist <= shortSeekWindow {
+			t += SeekTime / 4 // short head hop within the same disc zone
+		} else {
+			t += SeekTime
+		}
+	}
+	dr.sharer.activeRead++
+	rate := readSpeed(dr.disc.Type) * dr.sharer.readFactor()
+	t += time.Duration(float64(len(buf)) / rate * float64(time.Second))
+	p.Sleep(t)
+	dr.sharer.activeRead--
+	dr.head = off + int64(len(buf))
+	dr.BytesRead += int64(len(buf))
+	return dr.disc.readAt(buf, off)
+}
+
+// ImageView presents the loaded disc's image as one contiguous byte range
+// even when the burn was interrupted and resumed, i.e. the image spans
+// multiple tracks separated by per-track metadata zones: logical image
+// offsets are mapped across the concatenated track data areas.
+type ImageView struct{ Drive *Drive }
+
+// ReadAt implements udf.Backend over the concatenated tracks.
+func (v ImageView) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	d := v.Drive.Disc()
+	if d == nil {
+		return fmt.Errorf("%w: %s", ErrNoDisc, v.Drive.ID)
+	}
+	logical := int64(0)
+	read := 0
+	for _, tr := range d.Tracks() {
+		if read == len(buf) {
+			break
+		}
+		if off+int64(read) < logical+tr.Len {
+			inOff := off + int64(read) - logical
+			if inOff < 0 {
+				inOff = 0
+			}
+			n := tr.Len - inOff
+			if n > int64(len(buf)-read) {
+				n = int64(len(buf) - read)
+			}
+			if err := v.Drive.ReadAt(p, buf[read:read+int(n)], tr.Start+inOff); err != nil {
+				return err
+			}
+			read += int(n)
+		}
+		logical += tr.Len
+	}
+	// Anything beyond the burned tracks reads as zero (sparse image tail).
+	for i := read; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// WriteAt implements udf.Backend and always fails: WORM media.
+func (v ImageView) WriteAt(p *sim.Proc, buf []byte, off int64) error {
+	return ErrReadOnlyPath
+}
+
+// Size implements udf.Backend (the disc's logical capacity).
+func (v ImageView) Size() int64 {
+	if v.Drive.disc == nil {
+		return 0
+	}
+	return v.Drive.disc.Capacity()
+}
+
+// Backend adapts a loaded drive to the udf.Backend interface so disc images
+// can be mounted and read directly off the disc. Writes are rejected: discs
+// change only by burning.
+type Backend struct{ Drive *Drive }
+
+// ReadAt implements udf.Backend.
+func (b Backend) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	return b.Drive.ReadAt(p, buf, off)
+}
+
+// WriteAt implements udf.Backend and always fails: WORM media.
+func (b Backend) WriteAt(p *sim.Proc, buf []byte, off int64) error {
+	return ErrReadOnlyPath
+}
+
+// Size implements udf.Backend.
+func (b Backend) Size() int64 {
+	if b.Drive.disc == nil {
+		return 0
+	}
+	return b.Drive.disc.Capacity()
+}

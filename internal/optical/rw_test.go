@@ -1,0 +1,99 @@
+package optical
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ros/internal/sim"
+)
+
+func TestRWEraseAndReburn(t *testing.T) {
+	env := sim.NewEnv()
+	dr := NewDrive(env, "d0", nil)
+	disc := NewDisc("rw0", Media25RW)
+	inSim(t, env, func(p *sim.Proc) {
+		if err := dr.Load(p, disc); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if _, err := dr.Burn(p, memSource([]byte("generation-1")), BurnOptions{LogicalBytes: 1e9}); err != nil {
+			t.Fatalf("first burn: %v", err)
+		}
+		// Re-burn without erase: still rejected (the written region is used).
+		if _, err := dr.Burn(p, nil, BurnOptions{LogicalBytes: 1e9}); !errors.Is(err, ErrWORMViolation) {
+			t.Errorf("re-burn without erase: %v", err)
+		}
+		start := p.Now()
+		if err := dr.Erase(p); err != nil {
+			t.Fatalf("Erase: %v", err)
+		}
+		// A full 2X pass over 25 GB: ~2784 s.
+		if d := p.Now() - start; d < 2500*time.Second || d > 3100*time.Second {
+			t.Errorf("erase took %v, want ~2784s (2X full pass)", d)
+		}
+		if !disc.Blank() || disc.EraseCycles() != 1 {
+			t.Errorf("after erase: blank=%v cycles=%d", disc.Blank(), disc.EraseCycles())
+		}
+		rep, err := dr.Burn(p, memSource([]byte("generation-2")), BurnOptions{LogicalBytes: 1e9})
+		if err != nil {
+			t.Fatalf("re-burn after erase: %v", err)
+		}
+		// §2.1: RW burning is limited to 2X.
+		if rep.AvgSpeedX > 2.05 || rep.AvgSpeedX < 1.9 {
+			t.Errorf("RW burn speed = %.2fX, want 2X", rep.AvgSpeedX)
+		}
+		got := make([]byte, 12)
+		if err := dr.ReadAt(p, got, 0); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		if !bytes.Equal(got, []byte("generation-2")) {
+			t.Errorf("after re-burn: %q", got)
+		}
+	})
+}
+
+func TestWORMDiscRejectsErase(t *testing.T) {
+	env := sim.NewEnv()
+	dr := NewDrive(env, "d0", nil)
+	inSim(t, env, func(p *sim.Proc) {
+		if err := dr.Load(p, NewDisc("worm", Media25)); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if err := dr.Erase(p); !errors.Is(err, ErrNotRewritable) {
+			t.Errorf("erase of BD-R: %v", err)
+		}
+	})
+}
+
+func TestEraseCycleLimit(t *testing.T) {
+	env := sim.NewEnv()
+	dr := NewDrive(env, "d0", nil)
+	disc := NewDisc("rw1", Media25RW)
+	// Pre-age the disc to the limit.
+	for i := 0; i < MaxEraseCycles; i++ {
+		if err := disc.erase(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	inSim(t, env, func(p *sim.Proc) {
+		if err := dr.Load(p, disc); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if err := dr.Erase(p); !errors.Is(err, ErrEraseCycles) {
+			t.Errorf("erase past limit: %v", err)
+		}
+	})
+}
+
+func TestRWCapacityAndIdentity(t *testing.T) {
+	if Media25RW.Capacity() != 25e9 {
+		t.Errorf("RW capacity = %d", Media25RW.Capacity())
+	}
+	if !Media25RW.Rewritable() || Media25.Rewritable() || Media100.Rewritable() {
+		t.Error("Rewritable flags wrong")
+	}
+	if Media25RW.String() != "BD-RE 25GB" {
+		t.Errorf("String = %s", Media25RW)
+	}
+}

@@ -1,0 +1,80 @@
+// Package power models the ROS rack power envelope (§5.1: "The idle and
+// peak powers of ROS are 185 W and 652 W respectively"; §3.2: rotating the
+// roller draws under 50 W; §5.1: each drive peaks at 8 W).
+package power
+
+// Component draws, in watts, decomposed so the idle/peak envelope matches
+// the paper's measurements.
+const (
+	// ControllerIdle covers the SC server (two Xeons idling), PLC and
+	// sensors.
+	ControllerIdle = 120.0
+	// ControllerActive is the SC under I/O load.
+	ControllerActive = 260.0
+	// DiskIdle / DiskActive are per HDD/SSD draws (16 disks total).
+	DiskIdle   = 4.0
+	DiskActive = 7.5
+	// DriveIdle / DriveBurn are per optical drive draws (24 drives; §5.1:
+	// "peak power 8W").
+	DriveIdle = 0.04 // drives sleep when empty
+	DriveBurn = 8.0
+	// RollerRotate is the roller motor draw while rotating (§3.2: "rotating
+	// the entire roller consumes less than 50 watts").
+	RollerRotate = 48.0
+	// ArmMove is the robotic arm motor draw.
+	ArmMove = 32.0
+)
+
+// Config mirrors the prototype inventory (§5.1).
+type Config struct {
+	Disks  int // 14 HDD + 2 SSD = 16
+	Drives int // 24
+}
+
+// PrototypeConfig is the paper's evaluation machine.
+func PrototypeConfig() Config { return Config{Disks: 16, Drives: 24} }
+
+// State is an instantaneous activity snapshot.
+type State struct {
+	ControllerBusy bool
+	ActiveDisks    int
+	BurningDrives  int
+	IdleDrives     int // spun-up but not burning
+	RollerMoving   bool
+	ArmMoving      bool
+}
+
+// Draw returns the instantaneous rack power in watts.
+func (c Config) Draw(s State) float64 {
+	w := ControllerIdle
+	if s.ControllerBusy {
+		w = ControllerActive
+	}
+	w += float64(s.ActiveDisks) * DiskActive
+	w += float64(c.Disks-s.ActiveDisks) * DiskIdle
+	w += float64(s.BurningDrives) * DriveBurn
+	w += float64(s.IdleDrives) * (DriveBurn / 4)
+	w += float64(c.Drives-s.BurningDrives-s.IdleDrives) * DriveIdle
+	if s.RollerMoving {
+		w += RollerRotate
+	}
+	if s.ArmMoving {
+		w += ArmMove
+	}
+	return w
+}
+
+// Idle returns the rack's idle draw (everything quiescent).
+func (c Config) Idle() float64 { return c.Draw(State{}) }
+
+// Peak returns the worst-case draw: controller busy, all disks active, all
+// drives burning, roller and arm both moving.
+func (c Config) Peak() float64 {
+	return c.Draw(State{
+		ControllerBusy: true,
+		ActiveDisks:    c.Disks,
+		BurningDrives:  c.Drives,
+		RollerMoving:   true,
+		ArmMoving:      true,
+	})
+}

@@ -1,0 +1,40 @@
+package power
+
+import "testing"
+
+func TestIdlePowerMatchesPaper(t *testing.T) {
+	// §5.1: "The idle and peak powers of ROS are 185W and 652W".
+	got := PrototypeConfig().Idle()
+	if got < 180 || got > 190 {
+		t.Errorf("idle = %.1f W, want ~185 W", got)
+	}
+}
+
+func TestPeakPowerMatchesPaper(t *testing.T) {
+	got := PrototypeConfig().Peak()
+	if got < 640 || got > 665 {
+		t.Errorf("peak = %.1f W, want ~652 W", got)
+	}
+}
+
+func TestRollerUnder50W(t *testing.T) {
+	// §3.2: "rotating the entire roller consumes less than 50 watts".
+	if RollerRotate >= 50 {
+		t.Errorf("roller draw %.0f W, want < 50 W", RollerRotate)
+	}
+}
+
+func TestDrawMonotoneInActivity(t *testing.T) {
+	c := PrototypeConfig()
+	idle := c.Draw(State{})
+	burning := c.Draw(State{BurningDrives: 12})
+	all := c.Draw(State{BurningDrives: 24, ControllerBusy: true})
+	if !(idle < burning && burning < all) {
+		t.Errorf("draw not monotone: %.0f %.0f %.0f", idle, burning, all)
+	}
+	// 12 drives burning adds ~12x8W minus their idle draw.
+	delta := burning - idle
+	if delta < 90 || delta > 100 {
+		t.Errorf("12-drive burn delta = %.1f W, want ~95 W", delta)
+	}
+}

@@ -1,0 +1,727 @@
+// Package raid implements software RAID levels 0, 1, 5 and 6 over simulated
+// block devices, with real parity mathematics: XOR (P) for RAID-5 and
+// GF(2^8) Reed-Solomon coefficients (Q) for RAID-6. Degraded reads
+// reconstruct lost chunks, scrubbing verifies parity, and rebuild
+// re-populates a replacement device.
+//
+// ROS uses a RAID-1 SSD pair for the metadata volume and RAID-5 HDD sets for
+// the disc-image write buffer / read cache (§3.3 of the paper). The same
+// P/Q math is reused by internal/image to build parity *disc images* across
+// the 12 discs of a tray (§4.7).
+package raid
+
+import (
+	"errors"
+	"fmt"
+
+	"ros/internal/blockdev"
+	"ros/internal/sim"
+)
+
+// Level selects the redundancy scheme of an Array.
+type Level int
+
+// Supported RAID levels.
+const (
+	RAID0 Level = iota
+	RAID1
+	RAID5
+	RAID6
+)
+
+func (l Level) String() string {
+	switch l {
+	case RAID0:
+		return "RAID-0"
+	case RAID1:
+		return "RAID-1"
+	case RAID5:
+		return "RAID-5"
+	case RAID6:
+		return "RAID-6"
+	}
+	return fmt.Sprintf("RAID(%d)", int(l))
+}
+
+// Array-level errors.
+var (
+	ErrTooFewDevices  = errors.New("raid: too few devices for level")
+	ErrUnevenDevices  = errors.New("raid: devices must have equal size")
+	ErrTooManyFailed  = errors.New("raid: too many failed devices")
+	ErrParityMismatch = errors.New("raid: parity mismatch")
+)
+
+// Array is a RAID volume over equal-sized devices. All methods must be
+// called from simulation processes.
+type Array struct {
+	env        *sim.Env
+	level      Level
+	devs       []blockdev.Device
+	stripeUnit int
+	devSize    int64
+}
+
+// New assembles an array. stripeUnit is the per-device chunk size (ignored
+// for RAID-1); 64 KB if zero.
+func New(env *sim.Env, level Level, devs []blockdev.Device, stripeUnit int) (*Array, error) {
+	min := map[Level]int{RAID0: 1, RAID1: 2, RAID5: 3, RAID6: 4}[level]
+	if len(devs) < min {
+		return nil, fmt.Errorf("%w: %s needs >= %d, got %d", ErrTooFewDevices, level, min, len(devs))
+	}
+	size := devs[0].Size()
+	for _, d := range devs {
+		if d.Size() != size {
+			return nil, ErrUnevenDevices
+		}
+	}
+	if stripeUnit <= 0 {
+		stripeUnit = 64 << 10
+	}
+	return &Array{env: env, level: level, devs: devs, stripeUnit: stripeUnit, devSize: size}, nil
+}
+
+// Level returns the array's RAID level.
+func (a *Array) Level() Level { return a.level }
+
+// Devices returns the member devices (index order matters for rebuild).
+func (a *Array) Devices() []blockdev.Device { return a.devs }
+
+// dataPerStripe returns the number of data chunks per stripe.
+func (a *Array) dataPerStripe() int {
+	switch a.level {
+	case RAID0:
+		return len(a.devs)
+	case RAID1:
+		return 1
+	case RAID5:
+		return len(a.devs) - 1
+	case RAID6:
+		return len(a.devs) - 2
+	}
+	return 0
+}
+
+// Size returns the usable capacity in bytes.
+func (a *Array) Size() int64 {
+	su := int64(a.stripeUnit)
+	stripes := a.devSize / su
+	return stripes * su * int64(a.dataPerStripe())
+}
+
+// pDev returns the device index holding P parity for a stripe (rotating,
+// left-symmetric-ish).
+func (a *Array) pDev(stripe int64) int {
+	n := int64(len(a.devs))
+	return int((n - 1 - stripe%n) % n)
+}
+
+// qDev returns the device index holding Q parity for a stripe (RAID-6).
+func (a *Array) qDev(stripe int64) int {
+	return (a.pDev(stripe) + 1) % len(a.devs)
+}
+
+// dataDev maps the col-th data chunk of a stripe to a device index.
+func (a *Array) dataDev(stripe int64, col int) int {
+	p := a.pDev(stripe)
+	q := -1
+	if a.level == RAID6 {
+		q = a.qDev(stripe)
+	}
+	idx := 0
+	for d := 0; d < len(a.devs); d++ {
+		if d == p && a.level >= RAID5 {
+			continue
+		}
+		if d == q {
+			continue
+		}
+		if idx == col {
+			return d
+		}
+		idx++
+	}
+	panic("raid: data column out of range")
+}
+
+// chunkLoc converts a logical chunk index to (stripe, column).
+func (a *Array) chunkLoc(chunk int64) (stripe int64, col int) {
+	k := int64(a.dataPerStripe())
+	return chunk / k, int(chunk % k)
+}
+
+// parallel runs the fns as concurrent simulation processes and waits for all
+// of them, returning the first error.
+func parallel(p *sim.Proc, fns ...func(sp *sim.Proc) error) error {
+	if len(fns) == 1 {
+		return fns[0](p)
+	}
+	env := p.Env()
+	comps := make([]*sim.Completion[struct{}], len(fns))
+	for i, fn := range fns {
+		fn := fn
+		comps[i] = sim.NewCompletion[struct{}](env)
+		c := comps[i]
+		env.Go("raid-io", func(sp *sim.Proc) {
+			c.Resolve(struct{}{}, fn(sp))
+		})
+	}
+	var first error
+	for _, c := range comps {
+		if _, err := c.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReadAt reads len(buf) bytes at logical offset off, reconstructing through
+// parity when member devices have failed.
+func (a *Array) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > a.Size() {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", blockdev.ErrOutOfRange, off, len(buf), a.Size())
+	}
+	if a.level == RAID1 {
+		return a.readMirror(p, buf, off)
+	}
+	su := int64(a.stripeUnit)
+	var jobs []func(sp *sim.Proc) error
+	for n := 0; n < len(buf); {
+		chunk := (off + int64(n)) / su
+		co := (off + int64(n)) % su
+		run := int(su - co)
+		if run > len(buf)-n {
+			run = len(buf) - n
+		}
+		stripe, col := a.chunkLoc(chunk)
+		dst := buf[n : n+run]
+		coff := co
+		jobs = append(jobs, func(sp *sim.Proc) error {
+			return a.readChunk(sp, stripe, col, dst, coff)
+		})
+		n += run
+	}
+	return parallel(p, jobs...)
+}
+
+// readChunk reads part of one data chunk, falling back to reconstruction.
+func (a *Array) readChunk(p *sim.Proc, stripe int64, col int, dst []byte, coff int64) error {
+	dev := a.devs[a.dataDev(stripe, col)]
+	err := dev.ReadAt(p, dst, stripe*int64(a.stripeUnit)+coff)
+	if err == nil {
+		return nil
+	}
+	if a.level < RAID5 {
+		return err
+	}
+	// Degraded path: reconstruct the whole chunk.
+	full := make([]byte, a.stripeUnit)
+	if rerr := a.reconstructChunk(p, stripe, col, full); rerr != nil {
+		return fmt.Errorf("degraded read failed: %v (original: %w)", rerr, err)
+	}
+	copy(dst, full[coff:])
+	return nil
+}
+
+// readMirror serves RAID-1 reads from the first healthy device.
+func (a *Array) readMirror(p *sim.Proc, buf []byte, off int64) error {
+	var last error
+	for _, d := range a.devs {
+		if err := d.ReadAt(p, buf, off); err == nil {
+			return nil
+		} else {
+			last = err
+		}
+	}
+	return fmt.Errorf("%w: all mirrors failed: %v", ErrTooManyFailed, last)
+}
+
+// WriteAt writes buf at logical offset off, updating parity.
+func (a *Array) WriteAt(p *sim.Proc, buf []byte, off int64) error {
+	if off < 0 || off+int64(len(buf)) > a.Size() {
+		return fmt.Errorf("%w: off=%d len=%d size=%d", blockdev.ErrOutOfRange, off, len(buf), a.Size())
+	}
+	switch a.level {
+	case RAID0:
+		return a.writeStriped(p, buf, off)
+	case RAID1:
+		jobs := make([]func(sp *sim.Proc) error, len(a.devs))
+		for i, d := range a.devs {
+			d := d
+			jobs[i] = func(sp *sim.Proc) error { return d.WriteAt(sp, buf, off) }
+		}
+		return parallel(p, jobs...)
+	default:
+		return a.writeParity(p, buf, off)
+	}
+}
+
+// writeStriped handles RAID-0.
+func (a *Array) writeStriped(p *sim.Proc, buf []byte, off int64) error {
+	su := int64(a.stripeUnit)
+	var jobs []func(sp *sim.Proc) error
+	for n := 0; n < len(buf); {
+		chunk := (off + int64(n)) / su
+		co := (off + int64(n)) % su
+		run := int(su - co)
+		if run > len(buf)-n {
+			run = len(buf) - n
+		}
+		stripe, col := a.chunkLoc(chunk)
+		dev := a.devs[a.dataDev(stripe, col)]
+		src := buf[n : n+run]
+		doff := stripe*su + co
+		jobs = append(jobs, func(sp *sim.Proc) error { return dev.WriteAt(sp, src, doff) })
+		n += run
+	}
+	return parallel(p, jobs...)
+}
+
+// writeParity handles RAID-5/6 writes stripe by stripe: full-stripe writes
+// compute parity directly; partial writes do read-modify-write.
+func (a *Array) writeParity(p *sim.Proc, buf []byte, off int64) error {
+	su := int64(a.stripeUnit)
+	k := int64(a.dataPerStripe())
+	stripeBytes := su * k
+	var jobs []func(sp *sim.Proc) error
+	for n := 0; n < len(buf); {
+		loff := off + int64(n)
+		stripe := loff / stripeBytes
+		so := loff % stripeBytes
+		run := int(stripeBytes - so)
+		if run > len(buf)-n {
+			run = len(buf) - n
+		}
+		src := buf[n : n+run]
+		stripeOff := so
+		s := stripe
+		if stripeOff == 0 && run == int(stripeBytes) {
+			jobs = append(jobs, func(sp *sim.Proc) error { return a.writeFullStripe(sp, s, src) })
+		} else {
+			jobs = append(jobs, func(sp *sim.Proc) error { return a.writePartialStripe(sp, s, stripeOff, src) })
+		}
+		n += run
+	}
+	return parallel(p, jobs...)
+}
+
+// writeFullStripe writes k data chunks and computes fresh parity.
+func (a *Array) writeFullStripe(p *sim.Proc, stripe int64, data []byte) error {
+	su := a.stripeUnit
+	k := a.dataPerStripe()
+	pbuf := make([]byte, su)
+	var qbuf []byte
+	if a.level == RAID6 {
+		qbuf = make([]byte, su)
+	}
+	jobs := make([]func(sp *sim.Proc) error, 0, k+2)
+	for col := 0; col < k; col++ {
+		chunk := data[col*su : (col+1)*su]
+		for i := range chunk {
+			pbuf[i] ^= chunk[i]
+		}
+		if qbuf != nil {
+			mulSliceXor(gfPow2(col), chunk, qbuf)
+		}
+		dev := a.devs[a.dataDev(stripe, col)]
+		c := chunk
+		jobs = append(jobs, func(sp *sim.Proc) error { return dev.WriteAt(sp, c, stripe*int64(su)) })
+	}
+	pd := a.devs[a.pDev(stripe)]
+	jobs = append(jobs, func(sp *sim.Proc) error { return pd.WriteAt(sp, pbuf, stripe*int64(su)) })
+	if qbuf != nil {
+		qd := a.devs[a.qDev(stripe)]
+		jobs = append(jobs, func(sp *sim.Proc) error { return qd.WriteAt(sp, qbuf, stripe*int64(su)) })
+	}
+	return parallel(p, jobs...)
+}
+
+// writePartialStripe performs a reconstruct-write: read the untouched data
+// chunks of the stripe, merge the new data, recompute parity, write back.
+func (a *Array) writePartialStripe(p *sim.Proc, stripe int64, so int64, src []byte) error {
+	su := a.stripeUnit
+	k := a.dataPerStripe()
+	stripeData := make([]byte, su*k)
+	// Read current stripe data (reconstructing if degraded).
+	jobs := make([]func(sp *sim.Proc) error, k)
+	for col := 0; col < k; col++ {
+		col := col
+		jobs[col] = func(sp *sim.Proc) error {
+			return a.readChunk(sp, stripe, col, stripeData[col*su:(col+1)*su], 0)
+		}
+	}
+	if err := parallel(p, jobs...); err != nil {
+		return err
+	}
+	copy(stripeData[so:], src)
+	return a.writeFullStripe(p, stripe, stripeData)
+}
+
+// reconstructChunk rebuilds the data chunk at (stripe, col) from surviving
+// devices into out (len = stripeUnit).
+func (a *Array) reconstructChunk(p *sim.Proc, stripe int64, col int, out []byte) error {
+	su := a.stripeUnit
+	soff := stripe * int64(su)
+	k := a.dataPerStripe()
+	chunks := make([]stripeChunk, 0, len(a.devs))
+	for c := 0; c < k; c++ {
+		chunks = append(chunks, stripeChunk{col: c, dev: a.dataDev(stripe, c)})
+	}
+	chunks = append(chunks, stripeChunk{col: -1, dev: a.pDev(stripe)})
+	if a.level == RAID6 {
+		chunks = append(chunks, stripeChunk{col: -2, dev: a.qDev(stripe)})
+	}
+	jobs := make([]func(sp *sim.Proc) error, len(chunks))
+	for i := range chunks {
+		i := i
+		chunks[i].data = make([]byte, su)
+		jobs[i] = func(sp *sim.Proc) error {
+			err := a.devs[chunks[i].dev].ReadAt(sp, chunks[i].data, soff)
+			chunks[i].ok = err == nil
+			return nil // failures handled by erasure decode below
+		}
+	}
+	if err := parallel(p, jobs...); err != nil {
+		return err
+	}
+	var lost []int // indices into chunks
+	for i := range chunks {
+		if !chunks[i].ok {
+			lost = append(lost, i)
+		}
+	}
+	maxLost := 1
+	if a.level == RAID6 {
+		maxLost = 2
+	}
+	if len(lost) > maxLost {
+		return fmt.Errorf("%w: %d chunks lost in stripe %d", ErrTooManyFailed, len(lost), stripe)
+	}
+	if err := decodeStripe(chunks, k, su); err != nil {
+		return err
+	}
+	for i := range chunks {
+		if chunks[i].col == col {
+			copy(out, chunks[i].data)
+			return nil
+		}
+	}
+	return fmt.Errorf("raid: column %d not found", col)
+}
+
+// stripeChunk is one chunk of a stripe during reconstruction: a data column
+// (col >= 0), the P chunk (col = -1) or the Q chunk (col = -2).
+type stripeChunk struct {
+	col  int
+	dev  int
+	data []byte
+	ok   bool
+}
+
+// decodeStripe fills in the missing chunks (marked !ok) using P/Q. chunks
+// holds k data columns followed by P (col=-1) and optionally Q (col=-2).
+func decodeStripe(chunks []stripeChunk, k, su int) error {
+	var lostData []int
+	lostP, lostQ := false, false
+	for i := range chunks {
+		if chunks[i].ok {
+			continue
+		}
+		switch chunks[i].col {
+		case -1:
+			lostP = true
+		case -2:
+			lostQ = true
+		default:
+			lostData = append(lostData, i)
+		}
+	}
+	find := func(col int) []byte {
+		for i := range chunks {
+			if chunks[i].col == col {
+				return chunks[i].data
+			}
+		}
+		return nil
+	}
+	pbuf, qbuf := find(-1), find(-2)
+
+	switch {
+	case len(lostData) == 0:
+		// Only parity lost: recompute (needed for scrub/rebuild paths).
+		if lostP {
+			for i := range pbuf {
+				pbuf[i] = 0
+			}
+			for c := 0; c < k; c++ {
+				d := find(c)
+				for i := range d {
+					pbuf[i] ^= d[i]
+				}
+			}
+		}
+		if lostQ && qbuf != nil {
+			for i := range qbuf {
+				qbuf[i] = 0
+			}
+			for c := 0; c < k; c++ {
+				mulSliceXor(gfPow2(c), find(c), qbuf)
+			}
+		}
+	case len(lostData) == 1 && !lostP:
+		// Single data loss with P available: XOR of everything else.
+		d := chunks[lostData[0]].data
+		for i := range d {
+			d[i] = 0
+		}
+		for c := 0; c < k; c++ {
+			if c == chunks[lostData[0]].col {
+				continue
+			}
+			s := find(c)
+			for i := range d {
+				d[i] ^= s[i]
+			}
+		}
+		for i := range d {
+			d[i] ^= pbuf[i]
+		}
+	case len(lostData) == 1 && lostP:
+		// Data + P lost: recover data via Q, then recompute P.
+		if qbuf == nil {
+			return ErrTooManyFailed
+		}
+		x := chunks[lostData[0]].col
+		d := chunks[lostData[0]].data
+		// Qx = Q ^ sum_{c != x} g^c * Dc ; Dx = Qx / g^x
+		tmp := make([]byte, su)
+		copy(tmp, qbuf)
+		for c := 0; c < k; c++ {
+			if c == x {
+				continue
+			}
+			mulSliceXor(gfPow2(c), find(c), tmp)
+		}
+		inv := gfInv(gfPow2(x))
+		for i := range d {
+			d[i] = gfMul(tmp[i], inv)
+		}
+		for i := range pbuf {
+			pbuf[i] = 0
+		}
+		for c := 0; c < k; c++ {
+			s := find(c)
+			for i := range pbuf {
+				pbuf[i] ^= s[i]
+			}
+		}
+	case len(lostData) == 2:
+		// Two data chunks lost: solve 2x2 system with P and Q.
+		if qbuf == nil || lostP || lostQ {
+			return ErrTooManyFailed
+		}
+		x, y := chunks[lostData[0]].col, chunks[lostData[1]].col
+		dx, dy := chunks[lostData[0]].data, chunks[lostData[1]].data
+		// Pxy = P ^ sum_{c!=x,y} Dc ; Qxy = Q ^ sum_{c!=x,y} g^c Dc
+		pxy := make([]byte, su)
+		qxy := make([]byte, su)
+		copy(pxy, pbuf)
+		copy(qxy, qbuf)
+		for c := 0; c < k; c++ {
+			if c == x || c == y {
+				continue
+			}
+			s := find(c)
+			for i := range pxy {
+				pxy[i] ^= s[i]
+			}
+			mulSliceXor(gfPow2(c), s, qxy)
+		}
+		// Dx = (g^y * Pxy ^ Qxy) / (g^x ^ g^y) ; Dy = Pxy ^ Dx
+		gx, gy := gfPow2(x), gfPow2(y)
+		denom := gfInv(gx ^ gy)
+		for i := range dx {
+			dx[i] = gfMul(gfMul(gy, pxy[i])^qxy[i], denom)
+			dy[i] = pxy[i] ^ dx[i]
+		}
+	default:
+		return ErrTooManyFailed
+	}
+	return nil
+}
+
+// Rebuild reconstructs the content of member device idx onto replacement
+// (same size), then swaps it into the array.
+func (a *Array) Rebuild(p *sim.Proc, idx int, replacement blockdev.Device) error {
+	if replacement.Size() != a.devSize {
+		return ErrUnevenDevices
+	}
+	if a.level == RAID0 {
+		return errors.New("raid: RAID-0 cannot be rebuilt")
+	}
+	if a.level == RAID1 {
+		buf := make([]byte, 1<<20)
+		for off := int64(0); off < a.devSize; off += int64(len(buf)) {
+			n := int64(len(buf))
+			if off+n > a.devSize {
+				n = a.devSize - off
+			}
+			if err := a.readMirror(p, buf[:n], off); err != nil {
+				return err
+			}
+			if err := replacement.WriteAt(p, buf[:n], off); err != nil {
+				return err
+			}
+		}
+		a.devs[idx] = replacement
+		return nil
+	}
+	su := int64(a.stripeUnit)
+	stripes := a.devSize / su
+	k := a.dataPerStripe()
+	buf := make([]byte, su)
+	for s := int64(0); s < stripes; s++ {
+		// What does device idx hold in stripe s?
+		role := -3
+		if a.pDev(s) == idx {
+			role = -1
+		} else if a.level == RAID6 && a.qDev(s) == idx {
+			role = -2
+		} else {
+			for c := 0; c < k; c++ {
+				if a.dataDev(s, c) == idx {
+					role = c
+					break
+				}
+			}
+		}
+		if err := a.reconstructInto(p, s, role, buf); err != nil {
+			return err
+		}
+		if err := replacement.WriteAt(p, buf, s*su); err != nil {
+			return err
+		}
+	}
+	a.devs[idx] = replacement
+	return nil
+}
+
+// reconstructInto rebuilds the chunk with the given role (data column, -1=P,
+// -2=Q) of a stripe, reading from all other devices.
+func (a *Array) reconstructInto(p *sim.Proc, stripe int64, role int, out []byte) error {
+	su := a.stripeUnit
+	k := a.dataPerStripe()
+	soff := stripe * int64(su)
+	data := make([][]byte, k)
+	jobs := make([]func(sp *sim.Proc) error, 0, k)
+	for c := 0; c < k; c++ {
+		c := c
+		data[c] = make([]byte, su)
+		if c == role {
+			continue
+		}
+		dev := a.devs[a.dataDev(stripe, c)]
+		jobs = append(jobs, func(sp *sim.Proc) error { return dev.ReadAt(sp, data[c], soff) })
+	}
+	var pBuf []byte
+	if role >= 0 {
+		// Need P to rebuild a data chunk.
+		pBuf = make([]byte, su)
+		pd := a.devs[a.pDev(stripe)]
+		jobs = append(jobs, func(sp *sim.Proc) error { return pd.ReadAt(sp, pBuf, soff) })
+	}
+	if err := parallel(p, jobs...); err != nil {
+		return err
+	}
+	switch {
+	case role == -1: // P = XOR of data
+		for i := range out {
+			out[i] = 0
+		}
+		for c := 0; c < k; c++ {
+			for i := range out {
+				out[i] ^= data[c][i]
+			}
+		}
+	case role == -2: // Q = sum g^c Dc
+		for i := range out {
+			out[i] = 0
+		}
+		for c := 0; c < k; c++ {
+			mulSliceXor(gfPow2(c), data[c], out)
+		}
+	default: // data chunk via P
+		copy(out, pBuf)
+		for c := 0; c < k; c++ {
+			if c == role {
+				continue
+			}
+			for i := range out {
+				out[i] ^= data[c][i]
+			}
+		}
+	}
+	return nil
+}
+
+// ScrubResult summarizes a parity scrub.
+type ScrubResult struct {
+	StripesChecked int64
+	Mismatches     []int64 // stripe numbers with bad parity
+}
+
+// Scrub verifies P (and Q) parity of every stripe.
+func (a *Array) Scrub(p *sim.Proc) (ScrubResult, error) {
+	var res ScrubResult
+	if a.level < RAID5 {
+		return res, errors.New("raid: scrub requires RAID-5/6")
+	}
+	su := a.stripeUnit
+	k := a.dataPerStripe()
+	stripes := a.devSize / int64(su)
+	data := make([]byte, su)
+	acc := make([]byte, su)
+	qacc := make([]byte, su)
+	for s := int64(0); s < stripes; s++ {
+		soff := s * int64(su)
+		for i := range acc {
+			acc[i], qacc[i] = 0, 0
+		}
+		for c := 0; c < k; c++ {
+			if err := a.devs[a.dataDev(s, c)].ReadAt(p, data, soff); err != nil {
+				return res, err
+			}
+			for i := range acc {
+				acc[i] ^= data[i]
+			}
+			if a.level == RAID6 {
+				mulSliceXor(gfPow2(c), data, qacc)
+			}
+		}
+		if err := a.devs[a.pDev(s)].ReadAt(p, data, soff); err != nil {
+			return res, err
+		}
+		bad := false
+		for i := range acc {
+			if acc[i] != data[i] {
+				bad = true
+				break
+			}
+		}
+		if !bad && a.level == RAID6 {
+			if err := a.devs[a.qDev(s)].ReadAt(p, data, soff); err != nil {
+				return res, err
+			}
+			for i := range qacc {
+				if qacc[i] != data[i] {
+					bad = true
+					break
+				}
+			}
+		}
+		res.StripesChecked++
+		if bad {
+			res.Mismatches = append(res.Mismatches, s)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,73 @@
+// Package reliability implements the §4.7 error-rate analysis: archival
+// Blu-ray discs exhibit a sector error rate around 1e-16; organizing each
+// 12-disc tray as 11 data + 1 parity (RAID-5-like) drives the array error
+// rate to ~1e-23 per sector group, and 10 data + 2 parity (RAID-6-like) to
+// ~1e-40, "which can satisfy the reliability demand for enterprise storage".
+package reliability
+
+import "math"
+
+// DiscSectorErrorRate is the per-sector unrecoverable error probability of
+// archival-grade Blu-ray media (§4.7).
+const DiscSectorErrorRate = 1e-16
+
+// binom returns C(n, k) as a float64.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// ArrayErrorRate returns the probability that a sector group (one sector on
+// each of n discs, protected by m parity sectors) is unrecoverable: m+1 or
+// more sector failures among the n discs.
+func ArrayErrorRate(n, m int, sectorRate float64) float64 {
+	var p float64
+	for k := m + 1; k <= n; k++ {
+		p += binom(n, k) * math.Pow(sectorRate, float64(k)) *
+			math.Pow(1-sectorRate, float64(n-k))
+	}
+	return p
+}
+
+// RAID5ArrayRate is the 11+1 layout's unrecoverable-sector-group rate.
+func RAID5ArrayRate() float64 { return ArrayErrorRate(12, 1, DiscSectorErrorRate) }
+
+// RAID6ArrayRate is the 10+2 layout's unrecoverable-sector-group rate.
+func RAID6ArrayRate() float64 { return ArrayErrorRate(12, 2, DiscSectorErrorRate) }
+
+// ExpectedBadSectors returns the expected number of bad sectors when reading
+// `bytes` off a single disc with the given sector size.
+func ExpectedBadSectors(bytes int64, sectorSize int, sectorRate float64) float64 {
+	sectors := float64(bytes) / float64(sectorSize)
+	return sectors * sectorRate
+}
+
+// WriteCheckThroughputFactor models the §4.7 trade-off: the forced
+// write-and-check (verify-after-write) mode "almost halves the actual write
+// throughput"; system-level parity plus delayed scrubbing keeps full speed.
+func WriteCheckThroughputFactor(writeAndCheck bool) float64 {
+	if writeAndCheck {
+		return 0.52
+	}
+	return 1.0
+}
+
+// MTTDL-style horizon: years until the expected number of unrecoverable
+// sector groups across a PB reaches one, for the given layout.
+func YearsToFirstLoss(n, m int, totalBytes int64, sectorSize int, scrubPerYear float64) float64 {
+	groups := float64(totalBytes) / float64(sectorSize) / float64(n-m)
+	perScrubLossP := ArrayErrorRate(n, m, DiscSectorErrorRate) * groups
+	if perScrubLossP <= 0 {
+		return math.Inf(1)
+	}
+	if scrubPerYear <= 0 {
+		scrubPerYear = 1
+	}
+	return 1 / (perScrubLossP * scrubPerYear)
+}

@@ -1,0 +1,250 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives "processes" — ordinary goroutines that cooperate with a
+// central scheduler so that exactly one process runs at a time. Virtual time
+// advances instantly between events, which lets ROS model minute-scale
+// mechanical and disc-burning delays in microseconds of host time while
+// preserving ordering, contention and FIFO fairness.
+//
+// Typical use:
+//
+//	env := sim.NewEnv()
+//	env.Go("burner", func(p *sim.Proc) {
+//	    p.Sleep(675 * time.Second) // burn a 25GB disc
+//	})
+//	env.Run()
+//	fmt.Println(env.Now()) // 675s of virtual time
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Env is a discrete-event simulation environment. It owns the virtual clock
+// and the pending-event queue. An Env must be created with NewEnv; the zero
+// value is not usable.
+type Env struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	yield  chan struct{}
+	live   int // processes started and not yet finished
+	parked int // processes blocked on a primitive (not in the event heap)
+	rng    *rand.Rand
+	trace  func(t time.Duration, name, msg string)
+}
+
+// NewEnv returns a fresh environment with virtual time zero and a
+// deterministic random source.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(1)),
+	}
+}
+
+// Seed reseeds the environment's deterministic random source.
+func (e *Env) Seed(seed int64) { e.rng = rand.New(rand.NewSource(seed)) }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from within processes (or before Run), never concurrently.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Now returns the current virtual time since the start of the simulation.
+func (e *Env) Now() time.Duration { return e.now }
+
+// SetTrace installs a trace hook invoked by Proc.Logf. A nil hook disables
+// tracing.
+func (e *Env) SetTrace(fn func(t time.Duration, name, msg string)) { e.trace = fn }
+
+// Go spawns a new process executing fn. The process does not start running
+// until the scheduler dispatches it (at the current virtual time, after any
+// already-queued events at that time). Go may be called before Run or from
+// within a running process.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a background service process (cache flushers, schedulers)
+// that is expected to outlive the workload: it is excluded from Live and
+// Deadlocked accounting, so a simulation that quiesces with only daemons
+// parked is considered cleanly finished.
+func (e *Env) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{}), daemon: daemon}
+	if !daemon {
+		e.live++
+	}
+	go func() {
+		// The completion handshake runs in a defer so that a process which
+		// exits abnormally — e.g. a test calling t.Fatal (runtime.Goexit)
+		// from inside the simulation — still hands control back to the
+		// scheduler instead of deadlocking it.
+		defer func() {
+			p.finished = true
+			if !daemon {
+				e.live--
+			}
+			e.yield <- struct{}{}
+		}()
+		<-p.resume
+		fn(p)
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// schedule enqueues a wakeup for p at virtual time t.
+func (e *Env) schedule(t time.Duration, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, p: p})
+}
+
+// Run executes events until the event queue is empty. Processes that remain
+// parked on a Resource, Signal or Queue when the queue drains are abandoned
+// (their goroutines stay blocked); Deadlocked reports whether that happened.
+func (e *Env) Run() {
+	e.RunUntil(-1)
+}
+
+// RunUntil executes events whose time is <= limit. A negative limit means
+// "run to completion". On return the virtual clock rests at the time of the
+// last executed event (Run) or at limit (RunUntil with pending later events).
+func (e *Env) RunUntil(limit time.Duration) {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if limit >= 0 && ev.t > limit {
+			e.now = limit
+			return
+		}
+		heap.Pop(&e.events)
+		if ev.p.finished {
+			continue // stale wakeup for a process that already exited
+		}
+		e.now = ev.t
+		ev.p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// Step executes a single event and reports whether one was available.
+func (e *Env) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	if ev.p.finished {
+		return true
+	}
+	e.now = ev.t
+	ev.p.resume <- struct{}{}
+	<-e.yield
+	return true
+}
+
+// Deadlocked reports whether live processes remain parked with no pending
+// events to wake them — i.e. the simulation cannot make further progress.
+func (e *Env) Deadlocked() bool {
+	return len(e.events) == 0 && e.live > 0
+}
+
+// Live returns the number of processes that have been spawned and have not
+// yet finished.
+func (e *Env) Live() int { return e.live }
+
+// Pending returns the number of queued events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// event is a scheduled process wakeup. seq breaks ties so that events at the
+// same virtual time fire in schedule order (FIFO, deterministic).
+type event struct {
+	t   time.Duration
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Proc is a simulation process: a goroutine scheduled cooperatively by its
+// Env. All blocking methods (Sleep, Resource.Acquire, ...) must be called
+// from the process's own goroutine.
+type Proc struct {
+	env      *Env
+	name     string
+	resume   chan struct{}
+	finished bool
+	daemon   bool
+}
+
+// Daemon reports whether the process was spawned with GoDaemon.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// Name returns the process name given to Env.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Sleep suspends the process for d of virtual time. Negative durations sleep
+// zero time (yielding to other processes scheduled at the same instant).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now+d, p)
+	p.park()
+}
+
+// Yield relinquishes control until all other events at the current instant
+// have run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Logf emits a trace line through the environment's trace hook, if set.
+func (p *Proc) Logf(format string, args ...interface{}) {
+	if p.env.trace != nil {
+		p.env.trace(p.env.now, p.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// park hands control back to the scheduler and blocks until resumed. The
+// caller must have arranged a future wakeup (a scheduled event or membership
+// in some wait queue).
+func (p *Proc) park() {
+	p.env.parked++
+	p.env.yield <- struct{}{}
+	<-p.resume
+	p.env.parked--
+}
+
+// wake schedules an immediate resumption of a parked process.
+func (p *Proc) wake() { p.env.schedule(p.env.now, p) }

@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var woke time.Duration
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(675 * time.Second)
+		woke = p.Now()
+	})
+	env.Run()
+	if woke != 675*time.Second {
+		t.Fatalf("woke at %v, want 675s", woke)
+	}
+	if env.Now() != 675*time.Second {
+		t.Fatalf("env.Now() = %v, want 675s", env.Now())
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	env := NewEnv()
+	ran := 0
+	env.Go("a", func(p *Proc) {
+		p.Sleep(0)
+		ran++
+		p.Sleep(-5 * time.Second)
+		ran++
+	})
+	env.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if env.Now() != 0 {
+		t.Fatalf("clock moved to %v on zero sleeps", env.Now())
+	}
+}
+
+func TestEventOrderingFIFOAtSameInstant(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			p.Sleep(time.Second)
+			order = append(order, name)
+		})
+	}
+	env.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestInterleavedProcesses(t *testing.T) {
+	env := NewEnv()
+	var trace []string
+	env.Go("fast", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Second)
+			trace = append(trace, "fast")
+		}
+	})
+	env.Go("slow", func(p *Proc) {
+		p.Sleep(2500 * time.Millisecond)
+		trace = append(trace, "slow")
+	})
+	env.Run()
+	want := []string{"fast", "fast", "slow", "fast"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	env := NewEnv()
+	fired := false
+	env.Go("late", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		fired = true
+	})
+	env.RunUntil(5 * time.Second)
+	if fired {
+		t.Fatal("event after limit fired")
+	}
+	if env.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", env.Now())
+	}
+	env.Run()
+	if !fired {
+		t.Fatal("event did not fire after resuming")
+	}
+	if env.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", env.Now())
+	}
+}
+
+func TestResourceExclusion(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var holdEnd time.Duration
+	env.Go("first", func(p *Proc) {
+		res.Acquire(p)
+		p.Sleep(10 * time.Second)
+		holdEnd = p.Now()
+		res.Release()
+	})
+	var secondStart time.Duration
+	env.Go("second", func(p *Proc) {
+		res.Acquire(p)
+		secondStart = p.Now()
+		res.Release()
+	})
+	env.Run()
+	if holdEnd != 10*time.Second || secondStart != 10*time.Second {
+		t.Fatalf("holdEnd=%v secondStart=%v, want both 10s", holdEnd, secondStart)
+	}
+}
+
+func TestResourceFIFOFairness(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var order []int
+	env.Go("holder", func(p *Proc) {
+		res.Acquire(p)
+		p.Sleep(time.Second)
+		res.Release()
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Go("waiter", func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // stagger arrivals
+			res.Acquire(p)
+			order = append(order, i)
+			res.Release()
+		})
+	}
+	env.Run()
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order = %v, want FIFO [0 1 2 3 4]", order)
+		}
+	}
+}
+
+func TestResourceCapacityN(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 12) // a drive group
+	finish := make([]time.Duration, 30)
+	for i := 0; i < 30; i++ {
+		i := i
+		env.Go("drive-user", func(p *Proc) {
+			res.Acquire(p)
+			p.Sleep(time.Minute)
+			finish[i] = p.Now()
+			res.Release()
+		})
+	}
+	env.Run()
+	// 30 jobs, 12 at a time, 1 minute each: waves at 1m, 2m, 3m.
+	waves := map[time.Duration]int{}
+	for _, f := range finish {
+		waves[f]++
+	}
+	if waves[time.Minute] != 12 || waves[2*time.Minute] != 12 || waves[3*time.Minute] != 6 {
+		t.Fatalf("waves = %v", waves)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	env.Go("p", func(p *Proc) {
+		if !res.TryAcquire() {
+			t.Error("TryAcquire on free resource failed")
+		}
+		if res.TryAcquire() {
+			t.Error("TryAcquire on held resource succeeded")
+		}
+		res.Release()
+		if !res.TryAcquire() {
+			t.Error("TryAcquire after release failed")
+		}
+		res.Release()
+	})
+	env.Run()
+}
+
+func TestReleaseTransfersToWaiter(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	env.Go("a", func(p *Proc) {
+		res.Acquire(p)
+		p.Sleep(time.Second)
+		res.Release()
+		// Immediately after release with a waiter queued, TryAcquire must
+		// fail: ownership already transferred.
+		if res.TryAcquire() {
+			t.Error("TryAcquire stole a unit owned by a queued waiter")
+		}
+	})
+	env.Go("b", func(p *Proc) {
+		res.Acquire(p)
+		res.Release()
+	})
+	env.Run()
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	released := 0
+	for i := 0; i < 4; i++ {
+		env.Go("waiter", func(p *Proc) {
+			sig.Wait(p)
+			released++
+		})
+	}
+	env.Go("setter", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		sig.Broadcast()
+	})
+	env.Run()
+	if released != 4 {
+		t.Fatalf("released = %d, want 4", released)
+	}
+	// Level-triggered: late waiter passes straight through.
+	late := false
+	env.Go("late", func(p *Proc) {
+		sig.Wait(p)
+		late = true
+	})
+	env.Run()
+	if !late {
+		t.Fatal("late waiter blocked on a set signal")
+	}
+}
+
+func TestSignalClear(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	sig.Broadcast()
+	if !sig.IsSet() {
+		t.Fatal("signal not set after Broadcast")
+	}
+	sig.Clear()
+	if sig.IsSet() {
+		t.Fatal("signal still set after Clear")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[int](env)
+	var got []int
+	env.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Pop(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Second)
+			q.Push(i)
+		}
+		q.Close()
+	})
+	env.Run()
+	if len(got) != 5 {
+		t.Fatalf("got = %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v, want ascending", got)
+		}
+	}
+}
+
+func TestQueueCloseReleasesBlockedConsumer(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue[string](env)
+	done := false
+	env.Go("consumer", func(p *Proc) {
+		_, ok := q.Pop(p)
+		if ok {
+			t.Error("Pop returned ok on closed empty queue")
+		}
+		done = true
+	})
+	env.Go("closer", func(p *Proc) {
+		p.Sleep(time.Second)
+		q.Close()
+	})
+	env.Run()
+	if !done {
+		t.Fatal("consumer never released")
+	}
+}
+
+func TestCompletion(t *testing.T) {
+	env := NewEnv()
+	c := NewCompletion[string](env)
+	var got string
+	env.Go("waiter", func(p *Proc) {
+		v, err := c.Wait(p)
+		if err != nil {
+			t.Errorf("unexpected err: %v", err)
+		}
+		got = v
+	})
+	env.Go("resolver", func(p *Proc) {
+		p.Sleep(time.Second)
+		c.Resolve("done", nil)
+	})
+	env.Run()
+	if got != "done" {
+		t.Fatalf("got %q", got)
+	}
+	if !c.Done() {
+		t.Fatal("completion not Done")
+	}
+}
+
+func TestDeadlockedDetection(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	env.Go("self-block", func(p *Proc) {
+		res.Acquire(p)
+		res.Acquire(p) // never released: deliberate deadlock
+	})
+	env.Run()
+	if !env.Deadlocked() {
+		t.Fatal("Deadlocked() = false for a blocked simulation")
+	}
+	if env.Live() != 1 {
+		t.Fatalf("Live() = %d, want 1", env.Live())
+	}
+}
+
+func TestSpawnFromWithinProcess(t *testing.T) {
+	env := NewEnv()
+	var childTime time.Duration
+	env.Go("parent", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		p.Env().Go("child", func(c *Proc) {
+			c.Sleep(2 * time.Second)
+			childTime = c.Now()
+		})
+	})
+	env.Run()
+	if childTime != 7*time.Second {
+		t.Fatalf("child finished at %v, want 7s", childTime)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	run := func() []int64 {
+		env := NewEnv()
+		env.Seed(42)
+		var vals []int64
+		env.Go("p", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				vals = append(vals, p.Env().Rand().Int63n(1000))
+				p.Sleep(time.Millisecond)
+			}
+		})
+		env.Run()
+		return vals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic rand: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: for any set of independent sleepers, the clock ends at the max
+// sleep and each wakes exactly at its own duration.
+func TestPropertySleepersWakeOnTime(t *testing.T) {
+	f := func(ds []uint16) bool {
+		if len(ds) == 0 {
+			return true
+		}
+		if len(ds) > 64 {
+			ds = ds[:64]
+		}
+		env := NewEnv()
+		woke := make([]time.Duration, len(ds))
+		var max time.Duration
+		for i, d := range ds {
+			i := i
+			dur := time.Duration(d) * time.Millisecond
+			if dur > max {
+				max = dur
+			}
+			env.Go("s", func(p *Proc) {
+				p.Sleep(dur)
+				woke[i] = p.Now()
+			})
+		}
+		env.Run()
+		if env.Now() != max {
+			return false
+		}
+		for i, d := range ds {
+			if woke[i] != time.Duration(d)*time.Millisecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a capacity-1 resource serializes N holders of equal hold time h:
+// total elapsed = N*h regardless of arrival pattern at t=0.
+func TestPropertyResourceSerializes(t *testing.T) {
+	f := func(n uint8, holdMs uint8) bool {
+		workers := int(n%20) + 1
+		hold := time.Duration(holdMs) * time.Millisecond
+		env := NewEnv()
+		res := NewResource(env, 1)
+		for i := 0; i < workers; i++ {
+			env.Go("w", func(p *Proc) {
+				res.Acquire(p)
+				p.Sleep(hold)
+				res.Release()
+			})
+		}
+		env.Run()
+		return env.Now() == time.Duration(workers)*hold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithHold(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	ran := false
+	env.Go("p", func(p *Proc) {
+		res.WithHold(p, func() {
+			ran = true
+			if res.InUse() != 1 {
+				t.Error("resource not held inside WithHold")
+			}
+		})
+		if res.InUse() != 0 {
+			t.Error("resource still held after WithHold")
+		}
+	})
+	env.Run()
+	if !ran {
+		t.Fatal("WithHold body did not run")
+	}
+}
+
+func TestStep(t *testing.T) {
+	env := NewEnv()
+	count := 0
+	env.Go("a", func(p *Proc) { count++ })
+	env.Go("b", func(p *Proc) { count++ })
+	if !env.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 {
+		t.Fatalf("count = %d after one step, want 1", count)
+	}
+	for env.Step() {
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}

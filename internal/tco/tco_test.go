@@ -1,0 +1,47 @@
+package tco
+
+import "testing"
+
+func TestOpticalAround250KPerPB(t *testing.T) {
+	// §2.1: "the TCO of an optical disc based datacenter is 250K$/PB".
+	got := Cost(Optical(), DefaultParams()).Total()
+	if got < 200e3 || got > 300e3 {
+		t.Errorf("optical TCO = $%.0f, want ~$250K", got)
+	}
+}
+
+func TestRatiosMatchPaper(t *testing.T) {
+	// §2.1: optical is "about 1/3 of an HDD-based datacenter, 1/2 of a
+	// tape-based datacenter".
+	c := Compare(DefaultParams())
+	opt := c["optical"].Total()
+	hdd := c["hdd"].Total()
+	tape := c["tape"].Total()
+	if r := hdd / opt; r < 2.4 || r > 3.6 {
+		t.Errorf("HDD/optical ratio = %.2f, want ~3", r)
+	}
+	if r := tape / opt; r < 1.6 || r > 2.4 {
+		t.Errorf("tape/optical ratio = %.2f, want ~2", r)
+	}
+}
+
+func TestMigrationGenerations(t *testing.T) {
+	// HDDs need 19 migrations over a century; optical just one.
+	p := DefaultParams()
+	hdd := Cost(HDD(), p)
+	opt := Cost(Optical(), p)
+	if hdd.Migration <= opt.Migration {
+		t.Error("HDD migration cost should far exceed optical")
+	}
+	if opt.Migration != Optical().MigrationCostPerTB*1000 {
+		t.Errorf("optical migration = %.0f, want exactly one generation", opt.Migration)
+	}
+}
+
+func TestScalesLinearlyWithCapacity(t *testing.T) {
+	one := Cost(Optical(), Params{PB: 1, Years: 100}).Total()
+	ten := Cost(Optical(), Params{PB: 10, Years: 100}).Total()
+	if ten < 9.9*one || ten > 10.1*one {
+		t.Errorf("10PB = %.0f, want 10x 1PB (%.0f)", ten, one)
+	}
+}

@@ -1,0 +1,222 @@
+// Package ros is a library-level reproduction of "ROS: A Rack-based Optical
+// Storage System with Inline Accessibility for Long-Term Data Preservation"
+// (Yan et al., EuroSys 2017).
+//
+// A System assembles the full stack on a deterministic discrete-event
+// simulation: the 42U mechanical library (rollers, robotic arm, PLC), groups
+// of 12 Blu-ray drives with the paper's measured burn/read speed curves, the
+// tiered SSD/HDD buffer, and OLFS — the optical library file system that
+// presents a single POSIX-style namespace with inline accessibility while
+// burning data to write-once discs in the background.
+//
+// Quick start:
+//
+//	sys, _ := ros.New(ros.Options{})
+//	sys.Do(func(p *sim.Proc) error {
+//	    if err := sys.FS.WriteFile(p, "/archive/report.pdf", data); err != nil {
+//	        return err
+//	    }
+//	    got, err := sys.FS.ReadFile(p, "/archive/report.pdf")
+//	    ...
+//	})
+//
+// All I/O happens inside simulation processes (sim.Proc); virtual time
+// advances through mechanical and burning delays instantly in host time.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package ros
+
+import (
+	"fmt"
+
+	"ros/internal/blockdev"
+	"ros/internal/olfs"
+	"ros/internal/optical"
+	"ros/internal/pagecache"
+	"ros/internal/rack"
+	"ros/internal/raid"
+	"ros/internal/sim"
+)
+
+// Re-exported types for the public API surface.
+type (
+	// Proc is a simulation process handle; all System I/O takes one.
+	Proc = sim.Proc
+	// Env is the discrete-event simulation environment.
+	Env = sim.Env
+	// FSConfig tunes OLFS (redundancy, policies, overheads).
+	FSConfig = olfs.Config
+	// TrayID addresses a 12-disc tray in a roller.
+	TrayID = rack.TrayID
+	// MediaType selects the disc generation.
+	MediaType = optical.MediaType
+)
+
+// Disc generations.
+const (
+	Media25GB  = optical.Media25
+	Media100GB = optical.Media100
+)
+
+// Read policies for the all-drives-burning case (§4.8 of the paper).
+const (
+	WaitForBurn   = olfs.WaitForBurn
+	InterruptBurn = olfs.InterruptBurn
+)
+
+// Options size a System. The zero value builds a laptop-friendly instance:
+// one roller of 25 GB discs, two drive groups, 30 buffer slots of 8 MB
+// buckets and 2+1 redundancy. PrototypeOptions returns the paper's PB-scale
+// configuration.
+type Options struct {
+	// Rollers (1-2) and DriveGroups (1-4) size the mechanical library.
+	Rollers     int
+	DriveGroups int
+	// Media selects the disc generation (default Media25GB).
+	Media MediaType
+	// BufferSlots and BucketBytes size the disk write buffer / read cache.
+	BufferSlots int
+	BucketBytes int64
+	// BurnCap caps a drive group's aggregate burn throughput (bytes/s);
+	// 380e6 reproduces the paper's Fig 9 pipeline. 0 = uncapped.
+	BurnCap float64
+	// FS tunes OLFS; zero fields take the paper-calibrated defaults.
+	FS FSConfig
+	// DisableAutoBurn turns off automatic burning (burn explicitly with
+	// FS.FlushAndBurn). By default full image sets burn as they form.
+	DisableAutoBurn bool
+}
+
+// PrototypeOptions mirrors the paper's §5.1 evaluation prototype: two
+// rollers of 6120 100 GB discs (1.224 PB raw), 24 drives, 11+1 redundancy,
+// full-size buckets.
+func PrototypeOptions() Options {
+	return Options{
+		Rollers:     2,
+		DriveGroups: 2,
+		Media:       Media100GB,
+		BufferSlots: 24,
+		BucketBytes: Media100GB.Capacity(),
+		BurnCap:     380e6,
+		FS:          FSConfig{DataDiscs: 11, ParityDiscs: 1, AutoBurn: true},
+	}
+}
+
+// System is an assembled ROS instance.
+type System struct {
+	Env     *Env
+	Library *rack.Library
+	FS      *olfs.FS
+	Buffer  *pagecache.Volume
+}
+
+// New assembles a System on a fresh simulation environment.
+func New(o Options) (*System, error) {
+	env := sim.NewEnv()
+	if o.Rollers == 0 {
+		o.Rollers = 1
+	}
+	if o.DriveGroups == 0 {
+		o.DriveGroups = 2
+	}
+	if o.BufferSlots == 0 {
+		o.BufferSlots = 30
+	}
+	if o.BucketBytes == 0 {
+		o.BucketBytes = 8 << 20
+	}
+	lib, err := rack.New(env, rack.Config{
+		Rollers:     o.Rollers,
+		DriveGroups: o.DriveGroups,
+		Media:       o.Media,
+		PopulateAll: true,
+		BurnCap:     o.BurnCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ssds := []blockdev.Device{
+		blockdev.New(env, 256<<30, blockdev.SSDProfile()),
+		blockdev.New(env, 256<<30, blockdev.SSDProfile()),
+	}
+	mvArr, err := raid.New(env, raid.RAID1, ssds, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdds := make([]blockdev.Device, 7)
+	perDisk := (int64(o.BufferSlots)*o.BucketBytes/6 + (64 << 10)) * 2
+	for i := range hdds {
+		hdds[i] = blockdev.New(env, perDisk, blockdev.HDDProfile())
+	}
+	bufArr, err := raid.New(env, raid.RAID5, hdds, 64<<10)
+	if err != nil {
+		return nil, err
+	}
+	buffer := pagecache.New(env, bufArr, pagecache.Ext4Rates())
+	cfg := o.FS
+	if cfg.DataDiscs == 0 {
+		cfg.DataDiscs = 2
+		cfg.ParityDiscs = 1
+	}
+	cfg.AutoBurn = !o.DisableAutoBurn
+	cfg.BucketBytes = o.BucketBytes
+	fs, err := olfs.New(env, cfg, lib, mvArr, buffer)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Env: env, Library: lib, FS: fs, Buffer: buffer}, nil
+}
+
+// Do runs fn as a simulation process and drains the environment to
+// quiescence, returning fn's error (or a deadlock diagnosis).
+func (s *System) Do(fn func(p *Proc) error) error {
+	var err error
+	s.Env.Go("user", func(p *sim.Proc) {
+		err = fn(p)
+	})
+	s.Env.Run()
+	if err == nil && s.Env.Deadlocked() {
+		err = fmt.Errorf("ros: simulation deadlocked (%d processes blocked)", s.Env.Live())
+	}
+	return err
+}
+
+// Stats is a snapshot of system counters.
+type Stats struct {
+	FilesWritten  int64
+	FilesRead     int64
+	BytesWritten  int64
+	BytesRead     int64
+	BurnTasks     int64
+	FetchTasks    int64
+	CacheHits     int64
+	CacheMisses   int64
+	DirectIngests int64
+	Scrubs        int64
+	Repairs       int64
+	MVSnapshots   int64
+	Loads         int
+	Unloads       int
+	TotalDiscs    int
+}
+
+// Stats returns the current counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		FilesWritten:  s.FS.FilesWritten,
+		FilesRead:     s.FS.FilesRead,
+		BytesWritten:  s.FS.BytesWritten,
+		BytesRead:     s.FS.BytesRead,
+		BurnTasks:     s.FS.BurnTasks,
+		FetchTasks:    s.FS.FetchTasks,
+		CacheHits:     s.FS.CacheHits,
+		CacheMisses:   s.FS.CacheMisses,
+		DirectIngests: s.FS.DirectIngests,
+		Scrubs:        s.FS.Scrubs,
+		Repairs:       s.FS.Repairs,
+		MVSnapshots:   s.FS.MVSnapshots,
+		Loads:         s.Library.Loads,
+		Unloads:       s.Library.Unloads,
+		TotalDiscs:    s.Library.TotalDiscs(),
+	}
+}

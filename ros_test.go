@@ -1,0 +1,106 @@
+package ros
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestSystemQuickstart(t *testing.T) {
+	sys, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xA5}, 100<<10)
+	err = sys.Do(func(p *Proc) error {
+		if err := sys.FS.WriteFile(p, "/docs/hello.bin", data); err != nil {
+			return err
+		}
+		got, err := sys.FS.ReadFile(p, "/docs/hello.bin")
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("round trip mismatch")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.FilesWritten != 1 || st.FilesRead != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestSystemAutoBurnPipeline(t *testing.T) {
+	sys, err := New(Options{BucketBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Do(func(p *Proc) error {
+		// ~3 MB across 1 MB buckets seals enough images for an auto burn.
+		for i := 0; i < 3; i++ {
+			name := "/data/part-" + string(rune('a'+i))
+			if err := sys.FS.WriteFile(p, name, bytes.Repeat([]byte{byte(i + 1)}, 900<<10)); err != nil {
+				return err
+			}
+		}
+		p.Sleep(3 * time.Hour) // drain the burn pipeline
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().BurnTasks == 0 {
+		t.Error("auto burn never triggered")
+	}
+	// Discs physically hold data now.
+	burnt := 0
+	for _, r := range sys.Library.Rollers {
+		for l := 0; l < 85; l++ {
+			for s := 0; s < 6; s++ {
+				for _, d := range r.Tray(l, s).Discs {
+					if !d.Blank() {
+						burnt++
+					}
+				}
+			}
+		}
+	}
+	if burnt == 0 {
+		t.Error("no burned discs")
+	}
+}
+
+func TestPrototypeOptionsShape(t *testing.T) {
+	o := PrototypeOptions()
+	if o.Rollers != 2 || o.Media != Media100GB {
+		t.Errorf("prototype options: %+v", o)
+	}
+	// Don't build the full PB prototype here (buffer sizing is PB-scale);
+	// the experiments package exercises it piecemeal.
+}
+
+func TestDisableAutoBurn(t *testing.T) {
+	sys, err := New(Options{BucketBytes: 1 << 20, DisableAutoBurn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Do(func(p *Proc) error {
+		for i := 0; i < 3; i++ {
+			if err := sys.FS.WriteFile(p, "/d/f"+string(rune('0'+i)), bytes.Repeat([]byte{1}, 900<<10)); err != nil {
+				return err
+			}
+		}
+		p.Sleep(time.Hour)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().BurnTasks != 0 {
+		t.Error("burn ran despite DisableAutoBurn")
+	}
+}
