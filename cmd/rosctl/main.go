@@ -23,9 +23,15 @@
 //	scrub <tray>            verify cross-disc parity of a burned tray (r0/L84/S0)
 //	trays                   show used/failed trays
 //	status                  counters, drive states, buffer occupancy
+//	stats [--json]          unified obs snapshot (counters, gauges, latency
+//	                        histograms with p50/p95/p99); --json for machines
 //	power                   current modeled power draw
 //	clock                   virtual time
 //	help / quit
+//
+// A single command can also be given as arguments for scripting:
+//
+//	rosctl stats --json
 package main
 
 import (
@@ -48,6 +54,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assemble:", err)
 		os.Exit(1)
+	}
+	if len(os.Args) > 1 {
+		// Single-command mode: run the argv command and exit.
+		runCommand(sys, os.Args[1:])
+		return
 	}
 	fmt.Println("ROS maintenance interface — 1 roller, 6120 discs, 24 drives. 'help' for commands.")
 	sc := bufio.NewScanner(os.Stdin)
@@ -83,7 +94,7 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 	fs := sys.FS
 	switch fields[0] {
 	case "help":
-		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status power clock quit")
+		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats power clock quit")
 	case "ingest":
 		// Direct-writing mode (§4.8): wire-speed staging, async delivery.
 		if len(fields) != 3 {
@@ -266,6 +277,17 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		}
 		free := sys.FS.Buckets.FreeSlots()
 		fmt.Printf("  buffer: %d/%d slots free\n", free, len(sys.FS.Buckets.Slots()))
+	case "stats":
+		snap := sys.Obs.Snapshot()
+		if len(fields) > 1 && fields[1] == "--json" {
+			js, err := snap.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Print(snap)
 	case "power":
 		burning, idleDr := 0, 0
 		for _, g := range sys.Library.Groups {

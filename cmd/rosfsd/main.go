@@ -13,12 +13,14 @@
 //	LS <path>\n                             -> OK <count>\n<name dir size>...
 //	SYNC\n                                  -> OK\n  (seal current bucket)
 //	BURN\n                                  -> OK <virtual-duration>\n (flush + burn)
+//	STATS\n                                 -> OK <nbytes>\n<unified obs snapshot JSON>
 //	QUIT\n
 //
 // Usage:
 //
 //	rosfsd -addr :9876          # serve
 //	rosfsd -demo                # serve on an ephemeral port and run a demo client
+//	rosfsd -stats-every 100     # also log the obs snapshot every 100 requests
 package main
 
 import (
@@ -40,19 +42,34 @@ import (
 // requests from concurrent connections run one at a time (the SC is one
 // controller; this also matches its request handling).
 type server struct {
-	mu  sync.Mutex
-	sys *ros.System
+	mu         sync.Mutex
+	sys        *ros.System
+	statsEvery int
+	requests   int
 }
 
 func (s *server) do(fn func(p *sim.Proc) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sys.Do(fn)
+	err := s.sys.Do(fn)
+	s.requests++
+	if s.statsEvery > 0 && s.requests%s.statsEvery == 0 {
+		fmt.Printf("stats after %d requests:\n%s", s.requests, s.sys.Obs.Snapshot())
+	}
+	return err
+}
+
+// snapshotJSON serializes the unified obs snapshot under the sim lock.
+func (s *server) snapshotJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.Obs.Snapshot().JSON()
 }
 
 func main() {
 	addr := flag.String("addr", ":9876", "listen address")
 	demo := flag.Bool("demo", false, "serve on an ephemeral port and run a demo client")
+	statsEvery := flag.Int("stats-every", 0, "log the unified obs snapshot every N requests (0 = off)")
 	flag.Parse()
 
 	sys, err := ros.New(ros.Options{BucketBytes: 4 << 20})
@@ -60,7 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "assemble:", err)
 		os.Exit(1)
 	}
-	srv := &server{sys: sys}
+	srv := &server{sys: sys, statsEvery: *statsEvery}
 
 	listenAddr := *addr
 	if *demo {
@@ -215,6 +232,13 @@ func handle(srv *server, conn net.Conn) {
 				return nil
 			})
 			reply(w, err, func() { fmt.Fprintf(w, "OK %s\n", dur) })
+		case "STATS":
+			js, err := srv.snapshotJSON()
+			reply(w, err, func() {
+				fmt.Fprintf(w, "OK %d\n", len(js))
+				w.Write(js)
+				fmt.Fprintln(w)
+			})
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 		}
@@ -295,6 +319,19 @@ func runDemo(addr string) error {
 	if _, err := io.ReadFull(r, make([]byte, n)); err != nil {
 		return err
 	}
+	fmt.Fprintf(w, "STATS\n")
+	w.Flush()
+	line, _ = r.ReadString('\n')
+	var sn int
+	if _, err := fmt.Sscanf(line, "OK %d", &sn); err != nil {
+		return fmt.Errorf("STATS reply %q: %w", line, err)
+	}
+	snap := make([]byte, sn+1) // snapshot JSON plus trailing newline
+	if _, err := io.ReadFull(r, snap); err != nil {
+		return err
+	}
+	fmt.Println("client: STATS ->", sn, "bytes of snapshot JSON")
+
 	fmt.Fprintf(w, "QUIT\n")
 	w.Flush()
 	return nil

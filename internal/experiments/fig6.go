@@ -7,6 +7,7 @@ import (
 	"ros/internal/extfs"
 	"ros/internal/fsbench"
 	"ros/internal/fuse"
+	"ros/internal/obs"
 	"ros/internal/olfs"
 	"ros/internal/pagecache"
 	"ros/internal/raid"
@@ -19,10 +20,13 @@ import (
 // amortize per-file metadata, as filebench's singlestream does).
 const fig6Total = 256 << 20
 
-// stackResult holds one configuration's measured throughput.
+// stackResult holds one configuration's measured throughput plus the per-op
+// latency histograms (obs) backing the percentile metrics.
 type stackResult struct {
 	name        string
 	read, write float64 // MB/s
+	readHist    *obs.Histogram
+	writeHist   *obs.Histogram
 }
 
 // newExt4 builds a fresh ext4-on-cached-RAID-5 baseline store.
@@ -52,8 +56,12 @@ func newOLFSFig6() (*Bed, error) {
 	})
 }
 
-// measureStack runs singlestream write then read through fs on env.
-func measureStack(env *sim.Env, fs vfs.FileSystem) (write, read float64, err error) {
+// measureStack runs singlestream write then read through fs on env, feeding
+// per-request latencies into the named obs histograms.
+func measureStack(env *sim.Env, fs vfs.FileSystem, name string) (sr stackResult, err error) {
+	sr.name = name
+	sr.writeHist = obs.NewHistogram("fig6." + name + ".write.latency")
+	sr.readHist = obs.NewHistogram("fig6." + name + ".read.latency")
 	done := sim.NewCompletion[struct{}](env)
 	env.Go("fig6", func(p *sim.Proc) {
 		defer func() { done.Resolve(struct{}{}, err) }()
@@ -62,16 +70,18 @@ func measureStack(env *sim.Env, fs vfs.FileSystem) (write, read float64, err err
 		if err != nil {
 			return
 		}
-		write = w.ThroughputMBps()
+		sr.write = w.ThroughputMBps()
+		w.Observe(sr.writeHist)
 		var r fsbench.Result
 		r, err = fsbench.SingleStreamRead(p, fs, "/fig6/stream.dat", fsbench.DefaultIOSize)
 		if err != nil {
 			return
 		}
-		read = r.ThroughputMBps()
+		sr.read = r.ThroughputMBps()
+		r.Observe(sr.readHist)
 	})
 	env.Run()
-	return write, read, err
+	return sr, err
 }
 
 // Fig6 reproduces the five-configuration normalized-throughput comparison:
@@ -129,11 +139,11 @@ func Fig6() (Result, error) {
 		if err != nil {
 			return res, err
 		}
-		w, r, err := measureStack(env, fs)
+		sr, err := measureStack(env, fs, c.name)
 		if err != nil {
 			return res, err
 		}
-		results[c.name] = stackResult{name: c.name, read: r, write: w}
+		results[c.name] = sr
 	}
 	base := results["ext4"]
 	// Paper's normalized values (§5.3 text + Fig 6 bars).
@@ -159,6 +169,21 @@ func Fig6() (Result, error) {
 		Metric{Name: "ext4 read absolute", Paper: 1200, Measured: base.read, Unit: "MB/s"},
 		Metric{Name: "ext4 write absolute", Paper: 1000, Measured: base.write, Unit: "MB/s"},
 	)
+	// Per-request latency percentiles from the obs histograms (the paper
+	// reports only throughput, so Paper stays 0 and tolerance checks skip).
+	for _, sr := range []stackResult{base, so} {
+		for _, h := range []*obs.Histogram{sr.writeHist, sr.readHist} {
+			dir := "write"
+			if h == sr.readHist {
+				dir = "read"
+			}
+			res.Metrics = append(res.Metrics,
+				Metric{Name: sr.name + " " + dir + " p50", Measured: float64(h.Quantile(0.50)) / 1e6, Unit: "ms"},
+				Metric{Name: sr.name + " " + dir + " p95", Measured: float64(h.Quantile(0.95)) / 1e6, Unit: "ms"},
+				Metric{Name: sr.name + " " + dir + " p99", Measured: float64(h.Quantile(0.99)) / 1e6, Unit: "ms"},
+			)
+		}
+	}
 	res.Notes = "samba+FUSE normalized bars are read off Fig 6 (no exact numbers in the text)"
 	return res, nil
 }

@@ -116,6 +116,17 @@ func Fig7() (Result, error) {
 		{Name: "OLFS read internal ops", Paper: 3, Measured: float64(len(readTrace)), Unit: "ops (stat,read,close)"},
 		{Name: "samba+OLFS write internal ops", Paper: 11, Measured: float64(len(smbWriteTrace)), Unit: "ops (stat*2,mknod,stat*6,write,close)"},
 	}
+	// Percentile view of the same internal operations, straight from the
+	// unified obs histograms (no paper values — tolerance checks skip them).
+	for _, h := range fs.Obs().Snapshot().Histograms {
+		if !strings.HasPrefix(h.Name, "olfs.op.") || h.Count == 0 {
+			continue
+		}
+		res.Metrics = append(res.Metrics,
+			Metric{Name: h.Name + " p50", Measured: float64(h.P50) / 1e6, Unit: "ms"},
+			Metric{Name: h.Name + " p95", Measured: float64(h.P95) / 1e6, Unit: "ms"},
+		)
+	}
 	res.Notes = "OLFS write trace: " + strings.Join(writeTrace, ",") +
 		" | read trace: " + strings.Join(readTrace, ",") +
 		" | samba+OLFS write trace: " + strings.Join(smbWriteTrace, ",")

@@ -7,8 +7,10 @@ package fsbench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"ros/internal/obs"
 	"ros/internal/sim"
 	"ros/internal/vfs"
 )
@@ -45,6 +47,32 @@ func (r Result) MeanLatency() time.Duration {
 	return sum / time.Duration(len(r.Latencies))
 }
 
+// Quantile returns the exact q-quantile (0..1) of the recorded latencies
+// (nearest-rank), or 0 when none were recorded.
+func (r Result) Quantile(q float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Observe feeds the recorded per-op latencies into an obs histogram (nil-safe
+// on both sides), bridging benchmark results into the unified snapshot.
+func (r Result) Observe(h *obs.Histogram) {
+	for _, l := range r.Latencies {
+		h.Observe(int64(l))
+	}
+}
+
 // pattern fills buf deterministically (cheap, non-zero so storage layers
 // can't elide it).
 func pattern(buf []byte, seed byte) {
@@ -72,9 +100,11 @@ func SingleStreamWrite(p *sim.Proc, fs vfs.FileSystem, path string, totalBytes i
 		if res.Bytes+n > totalBytes {
 			n = totalBytes - res.Bytes
 		}
+		t0 := p.Now()
 		w, err := f.Write(p, buf[:n])
 		res.Bytes += int64(w)
 		res.Ops++
+		res.Latencies = append(res.Latencies, p.Now()-t0)
 		if err != nil {
 			f.Close(p)
 			return res, err
@@ -101,6 +131,7 @@ func SingleStreamRead(p *sim.Proc, fs vfs.FileSystem, path string, ioSize int) (
 	buf := make([]byte, ioSize)
 	var res Result
 	for {
+		t0 := p.Now()
 		n, err := f.Read(p, buf)
 		res.Bytes += int64(n)
 		res.Ops++
@@ -111,6 +142,7 @@ func SingleStreamRead(p *sim.Proc, fs vfs.FileSystem, path string, ioSize int) (
 		if n == 0 {
 			break
 		}
+		res.Latencies = append(res.Latencies, p.Now()-t0)
 	}
 	if err := f.Close(p); err != nil {
 		return res, err

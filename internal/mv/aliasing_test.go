@@ -1,0 +1,103 @@
+package mv
+
+import (
+	"testing"
+
+	"ros/internal/image"
+	"ros/internal/sim"
+)
+
+// TestStatReturnsCopy is the regression test for the metadata-aliasing bug:
+// Stat used to return the live internal *Index, letting callers mutate
+// shared metadata without charging an op or going through AppendVersion.
+func TestStatReturnsCopy(t *testing.T) {
+	env := sim.NewEnv()
+	v := newVol(env)
+	inSim(t, env, func(p *sim.Proc) {
+		if _, err := v.Mknod(p, "/f", false); err != nil {
+			t.Fatalf("Mknod: %v", err)
+		}
+		if err := v.AppendVersion(p, "/f", VersionEntry{
+			Size:     100,
+			Parts:    []image.ID{{1}},
+			PartLens: []int64{100},
+		}); err != nil {
+			t.Fatalf("AppendVersion: %v", err)
+		}
+		if err := v.SetForepart(p, "/f", []byte("head")); err != nil {
+			t.Fatalf("SetForepart: %v", err)
+		}
+
+		ix, err := v.Stat(p, "/f")
+		if err != nil {
+			t.Fatalf("Stat: %v", err)
+		}
+		// Mutate everything reachable from the returned index.
+		ix.Path = "/hacked"
+		ix.Dir = true
+		ix.Current().Size = 999
+		ix.Current().Parts[0] = image.ID{2}
+		ix.Entries = append(ix.Entries, VersionEntry{Version: 99})
+		ix.Forepart[0] = 'X'
+
+		fresh, err := v.Stat(p, "/f")
+		if err != nil {
+			t.Fatalf("re-Stat: %v", err)
+		}
+		if fresh.Path != "/f" || fresh.Dir {
+			t.Errorf("identity leaked: %+v", fresh)
+		}
+		if len(fresh.Entries) != 1 {
+			t.Fatalf("entries leaked: %+v", fresh.Entries)
+		}
+		if cur := fresh.Current(); cur.Size != 100 || cur.Parts[0] != (image.ID{1}) {
+			t.Errorf("version entry leaked: %+v", cur)
+		}
+		if string(fresh.Forepart) != "head" {
+			t.Errorf("forepart leaked: %q", fresh.Forepart)
+		}
+	})
+}
+
+// TestLookupReturnsCopy covers the same aliasing through the uncharged
+// Lookup path.
+func TestLookupReturnsCopy(t *testing.T) {
+	env := sim.NewEnv()
+	v := newVol(env)
+	inSim(t, env, func(p *sim.Proc) {
+		if _, err := v.Mknod(p, "/g", false); err != nil {
+			t.Fatalf("Mknod: %v", err)
+		}
+		if err := v.AppendVersion(p, "/g", VersionEntry{Size: 7, Parts: []image.ID{{3}}}); err != nil {
+			t.Fatalf("AppendVersion: %v", err)
+		}
+		ix, ok := v.Lookup("/g")
+		if !ok {
+			t.Fatal("Lookup miss")
+		}
+		ix.Current().Parts[0] = image.ID{4}
+		ix.Entries = nil
+
+		fresh, _ := v.Lookup("/g")
+		if len(fresh.Entries) != 1 || fresh.Current().Parts[0] != (image.ID{3}) {
+			t.Errorf("Lookup aliased internal state: %+v", fresh)
+		}
+	})
+}
+
+// TestMknodReturnsCopy: the index returned by Mknod must not alias either.
+func TestMknodReturnsCopy(t *testing.T) {
+	env := sim.NewEnv()
+	v := newVol(env)
+	inSim(t, env, func(p *sim.Proc) {
+		ix, err := v.Mknod(p, "/h", false)
+		if err != nil {
+			t.Fatalf("Mknod: %v", err)
+		}
+		ix.Dir = true
+		fresh, _ := v.Lookup("/h")
+		if fresh.Dir {
+			t.Error("Mknod result aliased internal state")
+		}
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ros/internal/image"
+	"ros/internal/obs"
 	"ros/internal/sim"
 )
 
@@ -102,6 +103,26 @@ func (ix *Index) VersionAt(v int) *VersionEntry {
 	return nil
 }
 
+// Clone returns a deep copy of the index. Accessors hand out clones so that
+// callers can never mutate MV's internal state without going through a
+// charged, versioned operation (AppendVersion, SetForepart, ...).
+func (ix *Index) Clone() *Index {
+	if ix == nil {
+		return nil
+	}
+	cp := *ix
+	if ix.Entries != nil {
+		cp.Entries = make([]VersionEntry, len(ix.Entries))
+		for i, e := range ix.Entries {
+			cp.Entries[i] = e
+			cp.Entries[i].Parts = append([]image.ID(nil), e.Parts...)
+			cp.Entries[i].PartLens = append([]int64(nil), e.PartLens...)
+		}
+	}
+	cp.Forepart = append([]byte(nil), ix.Forepart...)
+	return &cp
+}
+
 // Backend is the store MV checkpoints to (a RAID-1 SSD pair in ROS).
 type Backend interface {
 	ReadAt(p *sim.Proc, buf []byte, off int64) error
@@ -119,8 +140,19 @@ type Volume struct {
 	children map[string]map[string]bool
 	state    map[string]json.RawMessage
 
-	// Ops counts index-file operations (stat/mknod/update/...).
+	// Ops counts index-file operations (stat/mknod/update/...). It is the
+	// storage cell of the mv.ops obs counter once AttachObs is called.
 	Ops int64
+
+	opLatency *obs.Histogram // nil until AttachObs
+}
+
+// AttachObs connects the volume to a metrics registry: mv.ops counts index
+// operations (bound to the Ops field) and mv.op.latency records the per-op
+// charge distribution.
+func (v *Volume) AttachObs(r *obs.Registry) {
+	r.CounterAt("mv.ops", &v.Ops)
+	v.opLatency = r.Histogram("mv.op.latency")
 }
 
 // New creates an empty volume (with a root directory) on the given backend.
@@ -148,27 +180,34 @@ func (v *Volume) OpCost() time.Duration { return v.opCost }
 // charge sleeps one index-op cost.
 func (v *Volume) charge(p *sim.Proc) {
 	v.Ops++
+	v.opLatency.Observe(int64(v.opCost))
 	p.Sleep(v.opCost)
 }
 
 func clean(name string) string { return path.Clean("/" + name) }
 
-// Stat loads the index file for name. Cost: one op.
+// Stat loads the index file for name. Cost: one op. The returned index is a
+// deep copy: mutating it does not change the volume (a real MV re-reads the
+// JSON index file from disk on every stat).
 func (v *Volume) Stat(p *sim.Proc, name string) (*Index, error) {
 	v.charge(p)
 	ix, ok := v.nodes[clean(name)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	return ix, nil
+	return ix.Clone(), nil
 }
 
 // Lookup returns the index for name without charging an operation — used
 // when the caller already paid for a batched directory read (the dentry
-// cache the paper's §4.2 relies on for listing performance).
+// cache the paper's §4.2 relies on for listing performance). Like Stat it
+// returns a deep copy.
 func (v *Volume) Lookup(name string) (*Index, bool) {
 	ix, ok := v.nodes[clean(name)]
-	return ix, ok
+	if !ok {
+		return nil, false
+	}
+	return ix.Clone(), true
 }
 
 // Exists reports presence without charging (internal planning helper).
@@ -216,7 +255,7 @@ func (v *Volume) Mknod(p *sim.Proc, name string, dir bool) (*Index, error) {
 		v.children[name] = make(map[string]bool)
 	}
 	v.children[parent][path.Base(name)] = true
-	return ix, nil
+	return ix.Clone(), nil
 }
 
 // AppendVersion records a new version entry for name, wrapping the ring at

@@ -1,0 +1,445 @@
+// Package obs is ROS's unified observability layer: counters, gauges,
+// log-bucketed latency histograms and spans for long-running mechanical work,
+// all keyed off the simulation's virtual clock (sim.Env.Now) so that every
+// metric is exactly reproducible under a fixed seed.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. No wall-clock time, no map-iteration order leaking into
+//     output: Snapshot sorts every section by name, so two same-seed runs
+//     produce byte-identical JSON.
+//  2. Zero-cost opt-out. Every handle method is nil-safe: a subsystem that
+//     was never attached to a Registry can call Counter.Add or Span.End on
+//     nil handles freely. Unit tests of leaf packages need no obs setup.
+//  3. Compatibility. CounterAt binds a counter to an existing int64 field,
+//     making the legacy field the counter's storage. Code that still does
+//     `fs.FilesWritten++` and code that calls `c.Add(1)` observe the same
+//     cell, and old tests that read the struct field keep working unchanged.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"time"
+
+	"ros/internal/sim"
+)
+
+// Registry owns all metrics for one simulation environment. It is not safe
+// for host-level concurrency, which is fine: the cooperative scheduler runs
+// exactly one process at a time.
+type Registry struct {
+	env      *sim.Env
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	open     int // spans started and not yet ended/cancelled
+}
+
+// New creates a registry bound to env and subscribes it to the environment's
+// structured event stream: every emitted event increments an
+// "events.<kind>" counter, so trace activity shows up in snapshots.
+func New(env *sim.Env) *Registry {
+	r := &Registry{
+		env:      env,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+	if env != nil {
+		env.AddEventSink(func(ev sim.TraceEvent) {
+			r.Counter("events." + ev.Kind).Add(1)
+		})
+	}
+	return r
+}
+
+// Env returns the simulation environment the registry is bound to (nil for a
+// detached registry).
+func (r *Registry) Env() *sim.Env {
+	if r == nil {
+		return nil
+	}
+	return r.env
+}
+
+// now returns the registry's virtual time, or zero when detached.
+func (r *Registry) now() time.Duration {
+	if r == nil || r.env == nil {
+		return 0
+	}
+	return r.env.Now()
+}
+
+// Counter returns the counter with the given name, creating it (with its own
+// storage) on first use. Nil registries return a nil, still-usable handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{v: new(int64)}
+	r.counters[name] = c
+	return c
+}
+
+// CounterAt returns the counter with the given name bound to an existing
+// int64 cell: the field *is* the counter's storage, so legacy `field++`
+// updates and Counter.Add both hit the same value and snapshots see either.
+// Re-registering an existing name rebinds it to ptr.
+func (r *Registry) CounterAt(name string, ptr *int64) *Counter {
+	if r == nil || ptr == nil {
+		return nil
+	}
+	c := &Counter{v: ptr}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the log-bucketed histogram with the given name, creating
+// it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(name)
+	r.hists[name] = h
+	return h
+}
+
+// Counter is a monotonically increasing (by convention) int64 metric. The
+// zero of a nil handle is inert: Add is a no-op and Value returns 0.
+type Counter struct {
+	v *int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil && c.v != nil {
+		*c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil || c.v == nil {
+		return 0
+	}
+	return *c.v
+}
+
+// Gauge is an instantaneous int64 level (queue depths, dirty chunks).
+type Gauge struct {
+	v int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v += delta
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// histBuckets is the number of power-of-two buckets: bucket i holds samples
+// whose value v satisfies bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// 64 buckets cover the full non-negative int64 range.
+const histBuckets = 65
+
+// Histogram records a distribution of int64 samples (typically virtual-time
+// latencies in nanoseconds) in logarithmic buckets. Quantile estimates
+// interpolate linearly inside the chosen bucket and clamp to the observed
+// min/max, which keeps estimates exact for single-valued distributions.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns a detached histogram (usable without a Registry, e.g.
+// by experiments that only need local percentiles).
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name}
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// ObserveSince records the elapsed virtual time from start to now as a
+// nanosecond sample.
+func (h *Histogram) ObserveSince(start, now time.Duration) {
+	h.Observe(int64(now - start))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of all samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]). The estimate
+// interpolates linearly within the selected power-of-two bucket and is
+// clamped to [Min, Max]; it is exact when all samples share one value.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var seen float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo, hi := int64(0), int64(1)
+			if i > 0 {
+				lo = int64(1) << (i - 1)
+				hi = lo * 2
+			}
+			frac := (rank - seen) / float64(n)
+			est := float64(lo) + frac*float64(hi-lo)
+			v := int64(est)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		seen += float64(n)
+	}
+	return h.max
+}
+
+// Span measures one long-running operation (a burn, a fetch, an arm move).
+// StartSpan captures the virtual start time; End records the elapsed time
+// into the span's histogram exactly once. Cancel closes the span without
+// recording a sample — use it on precondition failures so instant errors
+// don't pollute latency distributions.
+type Span struct {
+	r     *Registry
+	h     *Histogram
+	start time.Duration
+	done  bool
+}
+
+// StartSpan opens a span whose End will observe into Histogram(name).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.open++
+	return &Span{r: r, h: r.Histogram(name), start: r.now()}
+}
+
+// End closes the span, recording elapsed virtual time. Idempotent.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.r.open--
+	s.h.ObserveSince(s.start, s.r.now())
+}
+
+// Cancel closes the span without recording a sample. Idempotent with End.
+func (s *Span) Cancel() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.r.open--
+}
+
+// OpenSpans returns the number of spans started but not yet ended/cancelled.
+func (r *Registry) OpenSpans() int {
+	if r == nil {
+		return 0
+	}
+	return r.open
+}
+
+// CounterSnapshot is one counter in a Snapshot.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge in a Snapshot.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram in a Snapshot. All duration-valued
+// fields are virtual-time nanoseconds.
+type HistogramSnapshot struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum_ns"`
+	Min   int64   `json:"min_ns"`
+	Max   int64   `json:"max_ns"`
+	Mean  float64 `json:"mean_ns"`
+	P50   int64   `json:"p50_ns"`
+	P95   int64   `json:"p95_ns"`
+	P99   int64   `json:"p99_ns"`
+}
+
+// Snapshot is a point-in-time export of every metric in a registry, with all
+// sections sorted by name for deterministic serialization.
+type Snapshot struct {
+	Now        int64               `json:"now_ns"` // virtual time of the snapshot
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+	OpenSpans  int                 `json:"open_spans"`
+}
+
+// Snapshot exports all metrics. Safe on a nil registry (returns zero value).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.Now = int64(r.now())
+	s.OpenSpans = r.open
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Min:   h.Min(),
+			Max:   h.Max(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// JSON renders the snapshot as indented, deterministic JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// String renders a compact human-readable form of the snapshot.
+func (s Snapshot) String() string {
+	out := fmt.Sprintf("t=%s spans_open=%d\n", time.Duration(s.Now), s.OpenSpans)
+	for _, c := range s.Counters {
+		out += fmt.Sprintf("  counter %-32s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		out += fmt.Sprintf("  gauge   %-32s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		out += fmt.Sprintf("  hist    %-32s n=%d p50=%s p95=%s p99=%s max=%s\n",
+			h.Name, h.Count,
+			time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99), time.Duration(h.Max))
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package olfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ros/internal/image"
+	"ros/internal/optical"
+	"ros/internal/rack"
+	"ros/internal/sim"
+)
+
+// writeBurnSet writes 4 x 400 KB files (two 1 MB buckets -> 2 data images +
+// 1 parity) and returns the burn completion.
+func writeBurnSet(t *testing.T, tb *testbed, p *sim.Proc) *sim.Completion[error] {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("/arch/f%02d", i)
+		if err := tb.fs.WriteFile(p, name, pat(400*1024, byte(i+1))); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	c, err := tb.fs.FlushAndBurn(p)
+	if err != nil {
+		t.Fatalf("FlushAndBurn: %v", err)
+	}
+	return c
+}
+
+// burningGroup returns the drive group currently burning, if any.
+func burningGroup(tb *testbed) *rack.DriveGroup {
+	for _, g := range tb.lib.Groups {
+		if g.AnyBurning() {
+			return g
+		}
+	}
+	return nil
+}
+
+// failedTrays counts catalog trays in the Failed state.
+func failedTrays(tb *testbed) int {
+	n := 0
+	for _, st := range tb.fs.Cat.DA {
+		if st == image.DAFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// TestBurnResumeAfterInterrupt is the regression test for the §4.8
+// interrupt-resume path. Before the fix, every resume requested
+// discCap-pr.logical logical bytes in append mode, overshooting the disc by
+// exactly TrackMetaZone: the resume always died with ErrDiscFull, the tray
+// was silently marked Failed, and the one-shot fresh-tray retry masked the
+// bug. Post-fix the resumed disc carries two tracks and no tray fails.
+func TestBurnResumeAfterInterrupt(t *testing.T) {
+	tb := newBed(t, func(c *Config) {
+		c.AutoBurn = false
+		c.RecycleAfterBurn = true // force the post-resume read to hit the disc
+	})
+	var burnErr error
+	var data0 = pat(400*1024, 1)
+	tb.run(t, func(p *sim.Proc) {
+		c := writeBurnSet(t, tb, p)
+
+		// Interrupt drive 0 fifty seconds into its burn; the other two discs
+		// run to completion so the resume only has position 0 left.
+		tb.env.Go("interrupter", func(ip *sim.Proc) {
+			for i := 0; i < 10000; i++ {
+				if g := burningGroup(tb); g != nil {
+					ip.Sleep(50 * time.Second)
+					if g.Drives[0].State() == optical.StateBurning {
+						g.Drives[0].InterruptBurn()
+					}
+					return
+				}
+				ip.Sleep(time.Second)
+			}
+		})
+
+		_, burnErr = c.Wait(p)
+		if burnErr != nil {
+			t.Fatalf("burn after interrupt+resume: %v", burnErr)
+		}
+		// Read back the image burned onto the interrupted-then-resumed disc
+		// (position 0 holds the first bucket) through the mechanical path.
+		got, err := tb.fs.ReadFile(p, "/arch/f00")
+		if err != nil {
+			t.Fatalf("ReadFile from resumed disc: %v", err)
+		}
+		if !bytes.Equal(got, data0) {
+			t.Error("data on resumed disc corrupt")
+		}
+	})
+
+	if tb.fs.InterruptedBs != 1 || tb.fs.BurnResumes != 1 {
+		t.Errorf("interrupted=%d resumes=%d, want 1/1", tb.fs.InterruptedBs, tb.fs.BurnResumes)
+	}
+	if n := failedTrays(tb); n != 0 {
+		t.Errorf("failed trays = %d, want 0 (resume must not hard-fail)", n)
+	}
+	// The resumed disc must hold two tracks: the interrupted one plus the
+	// append-mode continuation.
+	twoTrack := 0
+	for l := 0; l < rack.LayersPerRoller; l++ {
+		for s := 0; s < rack.SlotsPerLayer; s++ {
+			for _, d := range tb.lib.Rollers[0].Tray(l, s).Discs {
+				if len(d.Tracks()) == 2 {
+					twoTrack++
+				}
+			}
+		}
+	}
+	for _, g := range tb.lib.Groups {
+		for _, d := range g.Drives {
+			if d.Disc() != nil && len(d.Disc().Tracks()) == 2 {
+				twoTrack++
+			}
+		}
+	}
+	if twoTrack != 1 {
+		t.Errorf("two-track discs = %d, want exactly 1 (the resumed disc)", twoTrack)
+	}
+	// Span open/close balance across the interrupt/requeue cycle.
+	if open := tb.fs.Obs().OpenSpans(); open != 0 {
+		t.Errorf("open spans = %d, want 0", open)
+	}
+}
+
+// TestBurnInterruptThenHardFailure covers the satellite bugfix: a run that is
+// both interrupted and hard-fails (here: the unload back to the source tray
+// finds it occupied) must still count the interrupt, must not leak resume
+// bookkeeping into the fresh-tray retry, and the retry must succeed.
+func TestBurnInterruptThenHardFailure(t *testing.T) {
+	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
+	var burnErr error
+	tb.run(t, func(p *sim.Proc) {
+		c := writeBurnSet(t, tb, p)
+
+		tb.env.Go("saboteur", func(ip *sim.Proc) {
+			for i := 0; i < 10000; i++ {
+				g := burningGroup(tb)
+				if g == nil {
+					ip.Sleep(time.Second)
+					continue
+				}
+				burning := 0
+				for _, d := range g.Drives {
+					if d.State() == optical.StateBurning {
+						burning++
+					}
+				}
+				if burning < 3 {
+					ip.Sleep(time.Second)
+					continue
+				}
+				// Occupy the source tray so the unload hard-fails, then
+				// interrupt every burning drive in the same run.
+				tr, err := tb.lib.Tray(*g.Source)
+				if err != nil {
+					t.Errorf("source tray: %v", err)
+					return
+				}
+				tr.Discs = append(tr.Discs, optical.NewDisc("intruder", optical.Media25))
+				for _, d := range g.Drives {
+					if d.State() == optical.StateBurning {
+						d.InterruptBurn()
+					}
+				}
+				return
+			}
+		})
+
+		_, burnErr = c.Wait(p)
+	})
+	if burnErr != nil {
+		t.Fatalf("fresh-tray retry should have succeeded: %v", burnErr)
+	}
+	// Pre-fix the interrupted+failed run counted neither interrupt nor
+	// resume; the interrupt really happened and must show up.
+	if tb.fs.InterruptedBs != 1 {
+		t.Errorf("InterruptedBs = %d, want 1 (interrupt-then-fail must count)", tb.fs.InterruptedBs)
+	}
+	// No resume ever ran: the retry restarted from scratch on a new tray.
+	if tb.fs.BurnResumes != 0 {
+		t.Errorf("BurnResumes = %d, want 0 (fresh-tray retry is not a resume)", tb.fs.BurnResumes)
+	}
+	if n := failedTrays(tb); n != 1 {
+		t.Errorf("failed trays = %d, want 1 (the sabotaged one)", n)
+	}
+	if open := tb.fs.Obs().OpenSpans(); open != 0 {
+		t.Errorf("open spans = %d, want 0", open)
+	}
+}
+
+// TestBurnResumeRunHardFailure: an interrupt (run 1), then a hard failure
+// during the resume (run 2), then a fresh-tray retry (run 3). The stale
+// t.resumed flag used to survive the hard-failure reset, so run 3 was
+// miscounted as another resume; post-fix BurnResumes stays exactly 1.
+func TestBurnResumeRunHardFailure(t *testing.T) {
+	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
+	var burnErr error
+	tb.run(t, func(p *sim.Proc) {
+		c := writeBurnSet(t, tb, p)
+
+		// Phase 1: interrupt drive 0 mid-burn.
+		tb.env.Go("interrupter", func(ip *sim.Proc) {
+			for i := 0; i < 10000; i++ {
+				if g := burningGroup(tb); g != nil {
+					ip.Sleep(50 * time.Second)
+					if g.Drives[0].State() == optical.StateBurning {
+						g.Drives[0].InterruptBurn()
+					}
+					return
+				}
+				ip.Sleep(time.Second)
+			}
+		})
+		// Phase 2: once the resume run is burning, occupy its source tray so
+		// the resume's unload hard-fails.
+		tb.env.Go("saboteur", func(ip *sim.Proc) {
+			for i := 0; i < 20000; i++ {
+				g := burningGroup(tb)
+				if tb.fs.BurnResumes >= 1 && g != nil {
+					tr, err := tb.lib.Tray(*g.Source)
+					if err != nil {
+						t.Errorf("source tray: %v", err)
+						return
+					}
+					tr.Discs = append(tr.Discs, optical.NewDisc("intruder2", optical.Media25))
+					return
+				}
+				ip.Sleep(time.Second)
+			}
+		})
+
+		_, burnErr = c.Wait(p)
+	})
+	if burnErr != nil {
+		t.Fatalf("retry after failed resume should have succeeded: %v", burnErr)
+	}
+	if tb.fs.InterruptedBs != 1 {
+		t.Errorf("InterruptedBs = %d, want 1", tb.fs.InterruptedBs)
+	}
+	if tb.fs.BurnResumes != 1 {
+		t.Errorf("BurnResumes = %d, want 1 (stale resumed flag must not leak into the retry)", tb.fs.BurnResumes)
+	}
+	if n := failedTrays(tb); n != 1 {
+		t.Errorf("failed trays = %d, want 1", n)
+	}
+	// The resume itself completed before the unload failed: the append-mode
+	// continuation left a two-track disc stranded in the failed group's
+	// drives (post-fix; pre-fix the resume burn died instantly with
+	// ErrDiscFull and the disc kept a single partial track).
+	twoTrack := 0
+	for _, g := range tb.lib.Groups {
+		for _, d := range g.Drives {
+			if d.Disc() != nil && len(d.Disc().Tracks()) == 2 {
+				twoTrack++
+			}
+		}
+	}
+	if twoTrack != 1 {
+		t.Errorf("two-track drive-resident discs = %d, want 1", twoTrack)
+	}
+	if open := tb.fs.Obs().OpenSpans(); open != 0 {
+		t.Errorf("open spans = %d, want 0", open)
+	}
+}

@@ -50,8 +50,8 @@ func (fs *FS) DirectIngest(p *sim.Proc, path string, data []byte) error {
 	fs.moverPending++
 	fs.moverIdle.Clear()
 	fs.moverQ.Push(directItem{path: path, data: cp})
-	fs.DirectIngests++
-	fs.DirectBytes += int64(len(data))
+	fs.m.directIngests.Add(1)
+	fs.m.directBytes.Add(int64(len(data)))
 	return nil
 }
 

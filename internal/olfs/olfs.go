@@ -29,6 +29,7 @@ import (
 	"ros/internal/bucket"
 	"ros/internal/image"
 	"ros/internal/mv"
+	"ros/internal/obs"
 	"ros/internal/optical"
 	"ros/internal/rack"
 	"ros/internal/sim"
@@ -90,6 +91,10 @@ type Config struct {
 	// capacity). Smaller buckets are useful in tests; burned discs still
 	// charge full write-all-once time.
 	BucketBytes int64
+
+	// Obs is the metrics registry to record into. Nil falls back to the
+	// rack library's registry, so the whole stack shares one snapshot.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -164,7 +169,10 @@ type FS struct {
 	moverPending int
 	moverErr     error
 
-	// Stats (maintenance interface).
+	// Stats (maintenance interface). Each field is the storage cell of the
+	// corresponding olfs.* counter in the obs registry (bound via CounterAt
+	// in New), so these direct reads stay exact while all increments go
+	// through the registry handles in m.
 	FilesWritten  int64
 	FilesRead     int64
 	BytesWritten  int64
@@ -182,6 +190,60 @@ type FS struct {
 	Scrubs        int64
 	Repairs       int64
 	MVSnapshots   int64
+
+	obs *obs.Registry
+	m   fsMetrics
+}
+
+// fsMetrics caches the registry handles for OLFS's counters and the latency
+// histograms of its long-running task machinery.
+type fsMetrics struct {
+	filesWritten  *obs.Counter
+	filesRead     *obs.Counter
+	bytesWritten  *obs.Counter
+	bytesRead     *obs.Counter
+	burnTasks     *obs.Counter
+	fetchTasks    *obs.Counter
+	burnResumes   *obs.Counter
+	splitFiles    *obs.Counter
+	forepartHits  *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	interruptedBs *obs.Counter
+	directIngests *obs.Counter
+	directBytes   *obs.Counter
+	scrubs        *obs.Counter
+	repairs       *obs.Counter
+	mvSnapshots   *obs.Counter
+}
+
+// bindMetrics registers every stats field as an olfs.* counter whose storage
+// is the field itself, and creates the task-latency histograms eagerly so
+// they appear in snapshots even before the first task completes.
+func (fs *FS) bindMetrics(r *obs.Registry) {
+	fs.obs = r
+	fs.m = fsMetrics{
+		filesWritten:  r.CounterAt("olfs.files_written", &fs.FilesWritten),
+		filesRead:     r.CounterAt("olfs.files_read", &fs.FilesRead),
+		bytesWritten:  r.CounterAt("olfs.bytes_written", &fs.BytesWritten),
+		bytesRead:     r.CounterAt("olfs.bytes_read", &fs.BytesRead),
+		burnTasks:     r.CounterAt("olfs.burn_tasks", &fs.BurnTasks),
+		fetchTasks:    r.CounterAt("olfs.fetch_tasks", &fs.FetchTasks),
+		burnResumes:   r.CounterAt("olfs.burn_resumes", &fs.BurnResumes),
+		splitFiles:    r.CounterAt("olfs.split_files", &fs.SplitFiles),
+		forepartHits:  r.CounterAt("olfs.forepart_hits", &fs.ForepartHits),
+		cacheHits:     r.CounterAt("olfs.cache_hits", &fs.CacheHits),
+		cacheMisses:   r.CounterAt("olfs.cache_misses", &fs.CacheMisses),
+		interruptedBs: r.CounterAt("olfs.interrupted_burns", &fs.InterruptedBs),
+		directIngests: r.CounterAt("olfs.direct_ingests", &fs.DirectIngests),
+		directBytes:   r.CounterAt("olfs.direct_bytes", &fs.DirectBytes),
+		scrubs:        r.CounterAt("olfs.scrubs", &fs.Scrubs),
+		repairs:       r.CounterAt("olfs.repairs", &fs.Repairs),
+		mvSnapshots:   r.CounterAt("olfs.mv_snapshots", &fs.MVSnapshots),
+	}
+	r.Histogram("olfs.burn.latency")
+	r.Histogram("olfs.fetch.latency")
+	r.Histogram("olfs.parity.latency")
 }
 
 // New assembles OLFS over a rack library, an MV backend (RAID-1 SSDs) and a
@@ -217,6 +279,15 @@ func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buff
 		fetches:    make(map[string]*sim.Completion[int]),
 		mounted:    make(map[*optical.Drive]*udf.Volume),
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = lib.Obs()
+	}
+	if reg == nil {
+		reg = obs.New(env)
+	}
+	fs.bindMetrics(reg)
+	fs.MV.AttachObs(reg)
 	env.GoDaemon("olfs-btm", fs.burnDaemon)
 	return fs, nil
 }
@@ -226,6 +297,9 @@ func (fs *FS) Config() Config { return fs.cfg }
 
 // Library returns the underlying mechanical library.
 func (fs *FS) Library() *rack.Library { return fs.lib }
+
+// Obs returns the metrics registry shared by the whole stack.
+func (fs *FS) Obs() *obs.Registry { return fs.obs }
 
 // Stop shuts down background daemons (after draining, for tests).
 func (fs *FS) Stop() {
@@ -250,7 +324,7 @@ func (fs *FS) StopTrace() []OpTrace {
 }
 
 // op runs one internal OLFS operation: a kernel-user mode switch followed by
-// the operation body, recorded in the trace.
+// the operation body, recorded in the trace and the per-op histogram.
 func (fs *FS) op(p *sim.Proc, name string, fn func() error) error {
 	p.Sleep(fs.cfg.SwitchCost)
 	start := p.Now()
@@ -258,6 +332,7 @@ func (fs *FS) op(p *sim.Proc, name string, fn func() error) error {
 	if fs.tracing {
 		fs.trace = append(fs.trace, OpTrace{Name: name, Start: start, Dur: p.Now() - start})
 	}
+	fs.obs.Histogram("olfs.op." + name).ObserveSince(start, p.Now())
 	return err
 }
 
@@ -274,6 +349,7 @@ func (fs *FS) dataOp(p *sim.Proc, name string, fn func() error) error {
 	if fs.tracing {
 		fs.trace = append(fs.trace, OpTrace{Name: name, Start: start, Dur: p.Now() - start})
 	}
+	fs.obs.Histogram("olfs.op." + name).ObserveSince(start, p.Now())
 	return err
 }
 
@@ -381,7 +457,7 @@ func (fs *FS) enqueueBurn(imgs []*bucket.Bucket) *sim.Completion[error] {
 		images: imgs,
 		done:   sim.NewCompletion[error](fs.env),
 	}
-	fs.BurnTasks++
+	fs.m.burnTasks.Add(1)
 	fs.burnQ.Push(t)
 	return t.done
 }

@@ -93,7 +93,7 @@ func (fr *fileReader) Read(p *sim.Proc, buf []byte) (int, error) {
 		return err
 	})
 	fr.off += int64(n)
-	fs.BytesRead += int64(n)
+	fs.m.bytesRead.Add(int64(n))
 	return n, err
 }
 
@@ -107,7 +107,7 @@ func (fr *fileReader) ReadAt(p *sim.Proc, buf []byte, off int64) (int, error) {
 		n, err = fr.readAt(p, buf, off)
 		return err
 	})
-	fs.BytesRead += int64(n)
+	fs.m.bytesRead.Add(int64(n))
 	return n, err
 }
 
@@ -115,7 +115,7 @@ func (fr *fileReader) ReadAt(p *sim.Proc, buf []byte, off int64) (int, error) {
 func (fr *fileReader) Close(p *sim.Proc) error {
 	return fr.fs.op(p, "close", func() error {
 		fr.fs.chargeMVOp(p)
-		fr.fs.FilesRead++
+		fr.fs.m.filesRead.Add(1)
 		return nil
 	})
 }
@@ -188,10 +188,10 @@ func (fs *FS) mountImage(p *sim.Proc, id image.ID) (*udf.Volume, error) {
 	// Tier 1/2: buffer-resident bucket or image (Table 1 rows 1-2).
 	if b, ok := fs.Buckets.Resident(id); ok && !b.Raw {
 		fs.Buckets.Touch(b)
-		fs.CacheHits++
+		fs.m.cacheHits.Add(1)
 		return b.Vol, nil
 	}
-	fs.CacheMisses++
+	fs.m.cacheMisses.Add(1)
 	// Tier 3/4: on disc.
 	addr, ok := fs.Cat.Locate(id)
 	if !ok {
@@ -287,7 +287,7 @@ func (fs *FS) ReadFirstByte(p *sim.Proc, path string) (byte, error) {
 	}
 	if fs.cfg.Forepart && len(ix.Forepart) > 0 {
 		// Forepart hit: answer from MV immediately (~2 ms path).
-		fs.ForepartHits++
+		fs.m.forepartHits.Add(1)
 		return ix.Forepart[0], nil
 	}
 	fr := &fileReader{fs: fs, path: path, entry: *cur, sources: make([]*partSource, len(cur.Parts))}

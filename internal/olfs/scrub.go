@@ -106,7 +106,7 @@ func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (RepairReport, error
 			_ = fs.Buckets.MarkBurning(b)
 		}
 		rep.ReBurn = fs.enqueueBurn(recovered)
-		fs.Repairs++
+		fs.m.repairs.Add(1)
 	}
 	// The tray is degraded: the recovered images now live elsewhere, so its
 	// parity no longer covers its remaining discs. Retire it from the scrub
@@ -151,7 +151,7 @@ func (fs *FS) StartScrubber(interval time.Duration) func() {
 			if _, err := fs.ScrubAndRepair(p, tray); err != nil {
 				continue // scrubbing is best-effort; the next pass retries
 			}
-			fs.Scrubs++
+			fs.m.scrubs.Add(1)
 		}
 	})
 	return func() { stop = true }
@@ -208,7 +208,7 @@ func (fs *FS) StartMVSnapshots(interval time.Duration) func() {
 			if _, err := fs.BurnMVSnapshot(p); err != nil {
 				continue
 			}
-			fs.MVSnapshots++
+			fs.m.mvSnapshots.Add(1)
 		}
 	})
 	return func() { stop = true }

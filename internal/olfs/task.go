@@ -28,6 +28,7 @@ type burnTask struct {
 type burnProg struct {
 	logical int64 // logical bytes burned so far
 	payload int64 // payload bytes copied so far
+	done    bool  // this position's burn completed
 }
 
 // offsetSource adapts an image backend into a BurnSource continuing at base.
@@ -67,8 +68,19 @@ func (fs *FS) burnDaemon(p *sim.Proc) {
 }
 
 // runBurnTask drives one task to completion (or failure), re-queueing itself
-// after an interrupt.
+// after an interrupt. Each run segment (initial, resumed, retried) is one
+// olfs.burn.latency span, so the histogram records real drive-group
+// occupancy rather than end-to-end task age.
 func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
+	sp := fs.obs.StartSpan("olfs.burn.latency")
+	defer sp.End()
+	if t.resumed {
+		// This run is the append-mode continuation of an interrupted burn.
+		// Clear the flag now: if this run hard-fails, the retry restarts from
+		// scratch on a fresh tray and must not inherit resume bookkeeping.
+		t.resumed = false
+		fs.m.burnResumes.Add(1)
+	}
 	if t.parity == nil && fs.cfg.ParityDiscs > 0 {
 		if err := fs.generateParity(p, t); err != nil {
 			fs.failBurn(p, t, err)
@@ -97,7 +109,6 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 		return
 	}
 	g := fs.lib.Groups[gi]
-	discCap := fs.lib.Config().Media.Capacity()
 
 	// Burn all images in parallel with staggered starts (Fig 9).
 	type result struct {
@@ -113,18 +124,26 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 		fs.env.Go(fmt.Sprintf("burn-%s-d%d", t.tray, i), func(bp *sim.Proc) {
 			bp.Sleep(time.Duration(i) * fs.cfg.BurnStagger)
 			pr := &t.progress[i]
-			if pr.logical >= discCap {
+			if pr.done {
 				c.Resolve(result{}, nil) // this disc already finished pre-interrupt
 				return
 			}
 			payload := usedBytes(img)
 			src := offsetSource{b: img.Backend(), base: pr.payload, size: maxI64(0, payload-pr.payload)}
+			// LogicalBytes 0 lets the drive size the track itself: the full
+			// capacity for a fresh disc, or the remaining capacity net of the
+			// append-mode track-metadata zone when resuming. (Requesting
+			// discCap-pr.logical here used to overshoot the disc by exactly
+			// TrackMetaZone on every resume, turning each §4.8 resume into an
+			// ErrDiscFull hard failure.)
 			rep, err := g.Drives[i].Burn(bp, src, optical.BurnOptions{
-				LogicalBytes: discCap - pr.logical,
-				Append:       pr.logical > 0,
+				Append: pr.logical > 0,
 			})
 			pr.logical += rep.LogicalBytes
 			pr.payload += rep.PayloadBytes
+			if err == nil {
+				pr.done = true
+			}
 			c.Resolve(result{rep: rep}, err)
 		})
 	}
@@ -153,9 +172,17 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 	switch {
 	case firstErr != nil:
 		// Hard failure: mark the tray Failed and retry once on a new tray.
+		// An interrupt observed in the same run still counts (the preemption
+		// happened), but resume bookkeeping must not leak into the retry:
+		// the fresh tray restarts every disc from scratch.
+		if interrupted {
+			fs.m.interruptedBs.Add(1)
+		}
 		fs.Cat.SetDAState(*t.tray, image.DAFailed)
+		fs.env.Emit("olfs.burn.fail", p.Name(), t.tray.String())
 		t.tray = nil
 		t.progress = nil
+		t.resumed = false
 		t.attempts++
 		if t.attempts < 2 {
 			fs.burnQ.Push(t)
@@ -165,11 +192,12 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 	case interrupted:
 		// A fetch preempted us (§4.8 interrupt policy): requeue to resume
 		// with append-mode burning on the same tray.
-		fs.InterruptedBs++
+		fs.m.interruptedBs.Add(1)
+		fs.env.Emit("olfs.burn.interrupt", p.Name(), t.tray.String())
 		t.resumed = true
-		fs.BurnResumes++
 		fs.burnQ.Push(t)
 	default:
+		fs.env.Emit("olfs.burn.finish", p.Name(), t.tray.String())
 		fs.finishBurn(p, t, all)
 	}
 }
@@ -177,6 +205,8 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 // generateParity allocates parity slots and computes P (and Q) across the
 // data images (DIM, §4.7).
 func (fs *FS) generateParity(p *sim.Proc, t *burnTask) error {
+	sp := fs.obs.StartSpan("olfs.parity.latency")
+	defer sp.End()
 	length := int64(0)
 	data := make([]image.Backend, len(t.images))
 	for i, b := range t.images {
@@ -348,7 +378,10 @@ func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID) (int, error) {
 
 // runFetch performs the mechanical fetch per the configured read policy.
 func (fs *FS) runFetch(p *sim.Proc, tray rack.TrayID) (int, error) {
-	fs.FetchTasks++
+	fs.m.fetchTasks.Add(1)
+	sp := fs.obs.StartSpan("olfs.fetch.latency")
+	defer sp.End()
+	defer fs.env.Emit("olfs.fetch", p.Name(), tray.String())
 	for {
 		// Case: a group with free drives (Table 1 row 4, ~70 s).
 		for gi, g := range fs.lib.Groups {

@@ -106,7 +106,7 @@ func (fw *fileWriter) Write(p *sim.Proc, data []byte) (int, error) {
 		fw.forepart = append(fw.forepart, data[:room]...)
 	}
 	fw.size += int64(len(data))
-	fs.BytesWritten += int64(len(data))
+	fs.m.bytesWritten.Add(int64(len(data)))
 	return len(data), nil
 }
 
@@ -161,7 +161,7 @@ func (fw *fileWriter) writeLocked(p *sim.Proc, data []byte) error {
 		if err := b.Vol.WriteLink(p, link, target); err != nil {
 			return err
 		}
-		fs.SplitFiles++
+		fs.m.splitFiles.Add(1)
 	}
 	return nil
 }
@@ -214,7 +214,7 @@ func (fw *fileWriter) Close(p *sim.Proc) error {
 				return err
 			}
 		}
-		fs.FilesWritten++
+		fs.m.filesWritten.Add(1)
 		return nil
 	})
 }

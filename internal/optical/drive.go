@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"ros/internal/obs"
 	"ros/internal/sim"
 )
 
@@ -156,6 +157,36 @@ type Drive struct {
 	BytesRead   int64
 	Burns       int
 	Loads       int
+
+	// m holds obs handles shared across all drives attached to the same
+	// registry (aggregate metrics). Zero value (nil handles) is inert, so
+	// drives work unattached.
+	m driveMetrics
+}
+
+// driveMetrics are the aggregate optical-layer metrics. Handles are nil-safe,
+// so a drive that was never attached records nothing.
+type driveMetrics struct {
+	bytesBurned *obs.Counter
+	bytesRead   *obs.Counter
+	burns       *obs.Counter
+	burnLatency *obs.Histogram
+	readLatency *obs.Histogram
+}
+
+// AttachObs connects the drive to a metrics registry. Drives attached to the
+// same registry share one set of aggregate counters/histograms
+// (optical.bytes_burned, optical.bytes_read, optical.burns,
+// optical.burn.latency, optical.read.latency); per-drive struct fields keep
+// their exact per-drive meaning.
+func (dr *Drive) AttachObs(r *obs.Registry) {
+	dr.m = driveMetrics{
+		bytesBurned: r.Counter("optical.bytes_burned"),
+		bytesRead:   r.Counter("optical.bytes_read"),
+		burns:       r.Counter("optical.burns"),
+		burnLatency: r.Histogram("optical.burn.latency"),
+		readLatency: r.Histogram("optical.read.latency"),
+	}
 }
 
 // NewDrive creates a drive attached to the given controller sharer (which
@@ -437,6 +468,9 @@ func (dr *Drive) Burn(p *sim.Proc, src BurnSource, opts BurnOptions) (BurnReport
 		rep.AvgSpeedX = float64(burnedLogical) / rep.Duration.Seconds() / BluRay1X
 	}
 	dr.Burns++
+	dr.m.burns.Add(1)
+	dr.m.bytesBurned.Add(burnedLogical)
+	dr.m.burnLatency.Observe(int64(rep.Duration))
 	if rep.Interrupted {
 		return rep, ErrBurnAborted
 	}
@@ -480,6 +514,8 @@ func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 	dr.sharer.activeRead--
 	dr.head = off + int64(len(buf))
 	dr.BytesRead += int64(len(buf))
+	dr.m.bytesRead.Add(int64(len(buf)))
+	dr.m.readLatency.Observe(int64(t))
 	return dr.disc.readAt(buf, off)
 }
 

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"ros/internal/obs"
 	"ros/internal/sim"
 )
 
@@ -58,10 +59,24 @@ type Volume struct {
 	flushIdle *sim.Signal
 	inflight  int
 
-	// Stats.
+	// Stats. The fields double as the storage cells of the <prefix>.* obs
+	// counters once AttachObs is called.
 	BytesRead    int64
 	BytesWritten int64
 	BytesFlushed int64
+
+	dirtyGauge *obs.Gauge // nil until AttachObs
+}
+
+// AttachObs connects the volume to a metrics registry under the given name
+// prefix (e.g. "buffer"): <prefix>.bytes_read / bytes_written / bytes_flushed
+// counters bound to the stats fields, plus a <prefix>.dirty_chunks gauge
+// tracking the flush backlog.
+func (v *Volume) AttachObs(r *obs.Registry, prefix string) {
+	r.CounterAt(prefix+".bytes_read", &v.BytesRead)
+	r.CounterAt(prefix+".bytes_written", &v.BytesWritten)
+	r.CounterAt(prefix+".bytes_flushed", &v.BytesFlushed)
+	v.dirtyGauge = r.Gauge(prefix + ".dirty_chunks")
 }
 
 // New creates a cached volume over backend and starts its flusher process.
@@ -124,6 +139,7 @@ func (v *Volume) WriteAt(p *sim.Proc, buf []byte, off int64) error {
 			v.flushQ.Push(ci)
 		}
 	}
+	v.dirtyGauge.Set(int64(len(v.dirty)))
 	return nil
 }
 
@@ -166,6 +182,7 @@ func (v *Volume) flusher(p *sim.Proc) {
 			for _, c := range run {
 				delete(v.dirty, c)
 			}
+			v.dirtyGauge.Set(int64(len(v.dirty)))
 		}
 		for _, c := range batch[1:] {
 			if c == run[len(run)-1]+1 {

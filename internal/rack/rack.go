@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"ros/internal/obs"
 	"ros/internal/optical"
 	"ros/internal/plc"
 	"ros/internal/sim"
@@ -113,6 +114,7 @@ type Config struct {
 	BurnCap     float64           // aggregate burn throughput cap per group (bytes/s); 0 = uncapped
 	PopulateAll bool              // fill every tray with blank discs
 	Overlap     bool              // overlap roller ops with arm ops during unload (§3.2 optimization, ~10 s saving)
+	Obs         *obs.Registry     // metrics registry; nil -> a fresh one is created
 }
 
 // PrototypeConfig is the paper's evaluation prototype (§5.1): two rollers of
@@ -130,12 +132,14 @@ func PrototypeConfig() Config {
 type Library struct {
 	env     *sim.Env
 	cfg     Config
+	obs     *obs.Registry
 	Rollers []*Roller
 	Groups  []*DriveGroup
 
-	// Stats.
-	Loads       int
-	Unloads     int
+	// Stats. Loads/Unloads are the storage cells of the rack.loads /
+	// rack.unloads obs counters, so direct reads stay exact.
+	Loads       int64
+	Unloads     int64
 	LoadTime    time.Duration
 	UnloadTime  time.Duration
 	nextDiscSeq int
@@ -154,7 +158,13 @@ func New(env *sim.Env, cfg Config) (*Library, error) {
 	if timing == (plc.Timing{}) {
 		timing = plc.DefaultTiming()
 	}
-	lib := &Library{env: env, cfg: cfg}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New(env)
+	}
+	lib := &Library{env: env, cfg: cfg, obs: reg}
+	reg.CounterAt("rack.loads", &lib.Loads)
+	reg.CounterAt("rack.unloads", &lib.Unloads)
 	for ri := 0; ri < cfg.Rollers; ri++ {
 		r := &Roller{
 			Index: ri,
@@ -179,7 +189,9 @@ func New(env *sim.Env, cfg Config) (*Library, error) {
 		sharer := optical.NewSharer(env, cfg.BurnCap)
 		g := &DriveGroup{Index: gi, Sharer: sharer, busy: sim.NewResource(env, 1)}
 		for d := 0; d < DrivesPerGroup; d++ {
-			g.Drives = append(g.Drives, optical.NewDrive(env, fmt.Sprintf("g%d-d%02d", gi, d), sharer))
+			dr := optical.NewDrive(env, fmt.Sprintf("g%d-d%02d", gi, d), sharer)
+			dr.AttachObs(reg)
+			g.Drives = append(g.Drives, dr)
 		}
 		lib.Groups = append(lib.Groups, g)
 	}
@@ -188,6 +200,9 @@ func New(env *sim.Env, cfg Config) (*Library, error) {
 
 // Config returns the library configuration.
 func (lib *Library) Config() Config { return lib.cfg }
+
+// Obs returns the metrics registry shared by the library and its drives.
+func (lib *Library) Obs() *obs.Registry { return lib.obs }
 
 // Tray returns the tray at the given address.
 func (lib *Library) Tray(id TrayID) (*Tray, error) {
@@ -220,10 +235,22 @@ func (lib *Library) TotalDiscs() int {
 	return n
 }
 
-// exec runs one PLC instruction, failing the whole composite on error.
-func exec(p *sim.Proc, ctl *plc.Controller, cmd plc.Command) error {
+// exec runs one PLC instruction, failing the whole composite on error. Arm
+// motions (the dominant mechanical cost, Table 3) are measured as
+// rack.arm.move.latency spans; failed motions are cancelled rather than
+// observed so errors don't skew the travel distribution.
+func (lib *Library) exec(p *sim.Proc, ctl *plc.Controller, cmd plc.Command) error {
+	var sp *obs.Span
+	if cmd.Op == plc.OpArm || cmd.Op == plc.OpArmTop {
+		sp = lib.obs.StartSpan("rack.arm.move.latency")
+	}
 	_, err := ctl.Exec(p, cmd)
-	return err
+	if err != nil {
+		sp.Cancel()
+		return err
+	}
+	sp.End()
+	return nil
 }
 
 // LoadArray moves the disc array in tray `id` into drive group gi:
@@ -232,7 +259,7 @@ func exec(p *sim.Proc, ctl *plc.Controller, cmd plc.Command) error {
 //
 // The discs are inserted into the drives cold (they spin up on first
 // access). Fails if the group already holds discs or the tray is empty.
-func (lib *Library) LoadArray(p *sim.Proc, id TrayID, gi int) error {
+func (lib *Library) LoadArray(p *sim.Proc, id TrayID, gi int) (err error) {
 	tray, err := lib.Tray(id)
 	if err != nil {
 		return err
@@ -243,6 +270,15 @@ func (lib *Library) LoadArray(p *sim.Proc, id TrayID, gi int) error {
 	}
 	r := lib.Rollers[id.Roller]
 	start := p.Now()
+	sp := lib.obs.StartSpan("rack.load.latency")
+	defer func() {
+		if err != nil {
+			sp.Cancel() // failed composites don't pollute the latency distribution
+			return
+		}
+		sp.End()
+		lib.env.Emit("rack.load", p.Name(), id.String())
+	}()
 
 	g.busy.Acquire(p)
 	defer g.busy.Release()
@@ -256,29 +292,29 @@ func (lib *Library) LoadArray(p *sim.Proc, id TrayID, gi int) error {
 	}
 
 	ctl := r.Ctl
-	if err := exec(p, ctl, plc.Command{Op: plc.OpRotate, Args: []int{id.Slot}}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpRotate, Args: []int{id.Slot}}); err != nil {
 		return err
 	}
-	if err := exec(p, ctl, plc.Command{Op: plc.OpArm, Args: []int{id.Layer}}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpArm, Args: []int{id.Layer}}); err != nil {
 		return err
 	}
-	if err := exec(p, ctl, plc.Command{Op: plc.OpFanOut}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpFanOut}); err != nil {
 		return err
 	}
-	if err := exec(p, ctl, plc.Command{Op: plc.OpFetch}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpFetch}); err != nil {
 		return err
 	}
 	// The opened tray fans back while the arm lifts the array (§3.2).
 	fanin := sim.NewCompletion[struct{}](lib.env)
 	lib.env.Go("fanin", func(fp *sim.Proc) {
-		fanin.Resolve(struct{}{}, exec(fp, ctl, plc.Command{Op: plc.OpFanIn}))
+		fanin.Resolve(struct{}{}, lib.exec(fp, ctl, plc.Command{Op: plc.OpFanIn}))
 	})
-	if err := exec(p, ctl, plc.Command{Op: plc.OpArmTop}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpArmTop}); err != nil {
 		return err
 	}
 	discs := tray.Discs
 	tray.Discs = nil
-	if err := exec(p, ctl, plc.Command{Op: plc.OpSeparate, Args: []int{len(discs)}}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpSeparate, Args: []int{len(discs)}}); err != nil {
 		return err
 	}
 	for i, d := range discs {
@@ -304,7 +340,7 @@ func (lib *Library) LoadArray(p *sim.Proc, id TrayID, gi int) error {
 // With cfg.Overlap, the roller rotation and tray fan-out run concurrently
 // with the COLLECT (the §3.2 "precisely scheduling movements in parallel"
 // optimization, saving several seconds).
-func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) error {
+func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) (err error) {
 	g, err := lib.Group(gi)
 	if err != nil {
 		return err
@@ -327,6 +363,15 @@ func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) error {
 	}
 	r := lib.Rollers[dest.Roller]
 	start := p.Now()
+	sp := lib.obs.StartSpan("rack.unload.latency")
+	defer func() {
+		if err != nil {
+			sp.Cancel()
+			return
+		}
+		sp.End()
+		lib.env.Emit("rack.unload", p.Name(), dest.String())
+	}()
 	r.mech.Acquire(p)
 	defer r.mech.Release()
 	ctl := r.Ctl
@@ -339,10 +384,10 @@ func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) error {
 	}
 
 	prep := func(fp *sim.Proc) error {
-		if err := exec(fp, ctl, plc.Command{Op: plc.OpRotate, Args: []int{dest.Slot}}); err != nil {
+		if err := lib.exec(fp, ctl, plc.Command{Op: plc.OpRotate, Args: []int{dest.Slot}}); err != nil {
 			return err
 		}
-		return exec(fp, ctl, plc.Command{Op: plc.OpFanOut})
+		return lib.exec(fp, ctl, plc.Command{Op: plc.OpFanOut})
 	}
 	var prepDone *sim.Completion[struct{}]
 	if lib.cfg.Overlap {
@@ -351,7 +396,7 @@ func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) error {
 			prepDone.Resolve(struct{}{}, prep(fp))
 		})
 	}
-	if err := exec(p, ctl, plc.Command{Op: plc.OpCollect, Args: []int{n}}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpCollect, Args: []int{n}}); err != nil {
 		return err
 	}
 	var discs []*optical.Disc
@@ -374,13 +419,13 @@ func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) error {
 			return err
 		}
 	}
-	if err := exec(p, ctl, plc.Command{Op: plc.OpArm, Args: []int{dest.Layer}}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpArm, Args: []int{dest.Layer}}); err != nil {
 		return err
 	}
-	if err := exec(p, ctl, plc.Command{Op: plc.OpPlace}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpPlace}); err != nil {
 		return err
 	}
-	if err := exec(p, ctl, plc.Command{Op: plc.OpFanIn}); err != nil {
+	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpFanIn}); err != nil {
 		return err
 	}
 	tray.Discs = discs

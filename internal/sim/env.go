@@ -35,6 +35,18 @@ type Env struct {
 	parked int // processes blocked on a primitive (not in the event heap)
 	rng    *rand.Rand
 	trace  func(t time.Duration, name, msg string)
+	sinks  []func(TraceEvent)
+}
+
+// TraceEvent is one structured simulation event: Logf lines (Kind "log") and
+// subsystem events published with Emit. Sinks receive events in emission
+// order at the emitting process's virtual time, so event streams are as
+// deterministic as the simulation itself.
+type TraceEvent struct {
+	T    time.Duration // virtual time of the event
+	Proc string        // emitting process name ("" for non-process emitters)
+	Kind string        // event kind, dot-separated (e.g. "olfs.burn.interrupt")
+	Msg  string        // free-form detail
 }
 
 // NewEnv returns a fresh environment with virtual time zero and a
@@ -59,6 +71,27 @@ func (e *Env) Now() time.Duration { return e.now }
 // SetTrace installs a trace hook invoked by Proc.Logf. A nil hook disables
 // tracing.
 func (e *Env) SetTrace(fn func(t time.Duration, name, msg string)) { e.trace = fn }
+
+// AddEventSink registers a structured-event subscriber. Sinks are invoked
+// synchronously, in registration order, for every Emit call and every Logf
+// line (as Kind "log"). Sinks cannot be removed; register once per Env.
+func (e *Env) AddEventSink(fn func(TraceEvent)) {
+	if fn != nil {
+		e.sinks = append(e.sinks, fn)
+	}
+}
+
+// Emit publishes a structured event to all registered sinks at the current
+// virtual time. Unlike Logf it does not feed the legacy SetTrace hook.
+func (e *Env) Emit(kind, proc, msg string) {
+	if len(e.sinks) == 0 {
+		return
+	}
+	ev := TraceEvent{T: e.now, Proc: proc, Kind: kind, Msg: msg}
+	for _, s := range e.sinks {
+		s(ev)
+	}
+}
 
 // Go spawns a new process executing fn. The process does not start running
 // until the scheduler dispatches it (at the current virtual time, after any
@@ -229,11 +262,17 @@ func (p *Proc) Sleep(d time.Duration) {
 // have run.
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// Logf emits a trace line through the environment's trace hook, if set.
+// Logf emits a trace line through the environment's trace hook, if set, and
+// to any registered event sinks as a Kind "log" event.
 func (p *Proc) Logf(format string, args ...interface{}) {
-	if p.env.trace != nil {
-		p.env.trace(p.env.now, p.name, fmt.Sprintf(format, args...))
+	if p.env.trace == nil && len(p.env.sinks) == 0 {
+		return
 	}
+	msg := fmt.Sprintf(format, args...)
+	if p.env.trace != nil {
+		p.env.trace(p.env.now, p.name, msg)
+	}
+	p.env.Emit("log", p.name, msg)
 }
 
 // park hands control back to the scheduler and blocks until resumed. The

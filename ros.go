@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"ros/internal/blockdev"
+	"ros/internal/obs"
 	"ros/internal/olfs"
 	"ros/internal/optical"
 	"ros/internal/pagecache"
@@ -108,6 +109,7 @@ type System struct {
 	Library *rack.Library
 	FS      *olfs.FS
 	Buffer  *pagecache.Volume
+	Obs     *obs.Registry
 }
 
 // New assembles a System on a fresh simulation environment.
@@ -125,12 +127,14 @@ func New(o Options) (*System, error) {
 	if o.BucketBytes == 0 {
 		o.BucketBytes = 8 << 20
 	}
+	reg := obs.New(env)
 	lib, err := rack.New(env, rack.Config{
 		Rollers:     o.Rollers,
 		DriveGroups: o.DriveGroups,
 		Media:       o.Media,
 		PopulateAll: true,
 		BurnCap:     o.BurnCap,
+		Obs:         reg,
 	})
 	if err != nil {
 		return nil, err
@@ -153,6 +157,7 @@ func New(o Options) (*System, error) {
 		return nil, err
 	}
 	buffer := pagecache.New(env, bufArr, pagecache.Ext4Rates())
+	buffer.AttachObs(reg, "buffer")
 	cfg := o.FS
 	if cfg.DataDiscs == 0 {
 		cfg.DataDiscs = 2
@@ -164,7 +169,7 @@ func New(o Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Env: env, Library: lib, FS: fs, Buffer: buffer}, nil
+	return &System{Env: env, Library: lib, FS: fs, Buffer: buffer, Obs: reg}, nil
 }
 
 // Do runs fn as a simulation process and drains the environment to
@@ -195,9 +200,14 @@ type Stats struct {
 	Scrubs        int64
 	Repairs       int64
 	MVSnapshots   int64
-	Loads         int
-	Unloads       int
+	Loads         int64
+	Unloads       int64
 	TotalDiscs    int
+
+	// Obs is the unified metrics snapshot: every counter, gauge and latency
+	// histogram (p50/p95/p99) across sim, rack, optical, mv, pagecache and
+	// olfs, sorted by name for deterministic serialization.
+	Obs obs.Snapshot
 }
 
 // Stats returns the current counters.
@@ -218,5 +228,6 @@ func (s *System) Stats() Stats {
 		Loads:         s.Library.Loads,
 		Unloads:       s.Library.Unloads,
 		TotalDiscs:    s.Library.TotalDiscs(),
+		Obs:           s.Obs.Snapshot(),
 	}
 }
