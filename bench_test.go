@@ -191,6 +191,12 @@ func BenchmarkAblationDirectWrite(b *testing.B) {
 	benchExperiment(b, experiments.AblationDirectWrite, "direct-writing ingest throughput")
 }
 
+// BenchmarkAblationScheduler: fifo vs qos-scan mechanical scheduling.
+func BenchmarkAblationScheduler(b *testing.B) {
+	benchExperiment(b, experiments.AblationScheduler,
+		"p95 cold-read latency, fifo", "p95 cold-read latency, qos-scan")
+}
+
 // BenchmarkSustainedIngest: steady-state sustainability sweep (derived).
 func BenchmarkSustainedIngest(b *testing.B) {
 	benchExperiment(b, experiments.SustainedIngest, "max data drain, 2 drive groups")

@@ -50,6 +50,7 @@ var registry = map[string]func() (experiments.Result, error){
 	"ablate-overlap":     experiments.AblationOverlapScheduling,
 	"ablate-streams":     experiments.AblationStreamIsolation,
 	"ablate-directwrite": experiments.AblationDirectWrite,
+	"ablate-sched":       experiments.AblationScheduler,
 	"sustained":          experiments.SustainedIngest,
 }
 

@@ -46,6 +46,7 @@ import (
 	"ros/internal/optical"
 	"ros/internal/power"
 	"ros/internal/rack"
+	"ros/internal/sched"
 	"ros/internal/sim"
 )
 
@@ -277,6 +278,9 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		}
 		free := sys.FS.Buckets.FreeSlots()
 		fmt.Printf("  buffer: %d/%d slots free\n", free, len(sys.FS.Buckets.Slots()))
+		d := fs.Sched().Depths()
+		fmt.Printf("  sched (%s): queued %d interactive, %d prefetch, %d burn, %d scrub\n",
+			fs.Sched().Config().Policy, d[sched.Interactive], d[sched.Prefetch], d[sched.Burn], d[sched.Scrub])
 	case "stats":
 		snap := sys.Obs.Snapshot()
 		if len(fields) > 1 && fields[1] == "--json" {

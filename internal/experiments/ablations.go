@@ -440,7 +440,7 @@ func Ablations() ([]Result, error) {
 		AblationTieredBuffer, AblationFuseChunk, AblationReadPolicy,
 		AblationForepart, AblationReadCache, AblationUniquePath,
 		AblationOverlapScheduling, AblationStreamIsolation,
-		AblationDirectWrite,
+		AblationDirectWrite, AblationScheduler,
 	}
 	var out []Result
 	for _, fn := range runs {

@@ -32,6 +32,7 @@ import (
 	"ros/internal/obs"
 	"ros/internal/optical"
 	"ros/internal/rack"
+	"ros/internal/sched"
 	"ros/internal/sim"
 	"ros/internal/udf"
 )
@@ -91,6 +92,11 @@ type Config struct {
 	// capacity). Smaller buckets are useful in tests; burned discs still
 	// charge full write-all-once time.
 	BucketBytes int64
+
+	// Sched configures the mechanical request scheduler: fifo reproduces
+	// the legacy reactive arbitration; qos-scan enables QoS classes with
+	// aging, SCAN fetch ordering and LRU+demand victim selection.
+	Sched sched.Config
 
 	// Obs is the metrics registry to record into. Nil falls back to the
 	// rack library's registry, so the whole stack shares one snapshot.
@@ -154,9 +160,9 @@ type FS struct {
 	curMu *sim.Resource  // serializes bucket writes (one PBW stream)
 
 	burnQ      *sim.Queue[*burnTask]
-	groupFreed *sim.Signal // pulsed when a drive group changes availability
-	groupBusy  []bool      // group claimed by a burn/fetch composite
+	sched      *sched.Scheduler // arbitrates drive groups and arm demand
 	fetches    map[string]*sim.Completion[int]
+	fetchJoins map[string]int // waiters coalesced onto an in-flight fetch
 	mounted    map[*optical.Drive]*udf.Volume
 
 	tracing bool
@@ -215,6 +221,8 @@ type fsMetrics struct {
 	scrubs        *obs.Counter
 	repairs       *obs.Counter
 	mvSnapshots   *obs.Counter
+	coalesced     *obs.Counter   // fetch waiters that joined an in-flight fetch
+	batchSize     *obs.Histogram // consumers served per mechanical fetch
 }
 
 // bindMetrics registers every stats field as an olfs.* counter whose storage
@@ -240,6 +248,8 @@ func (fs *FS) bindMetrics(r *obs.Registry) {
 		scrubs:        r.CounterAt("olfs.scrubs", &fs.Scrubs),
 		repairs:       r.CounterAt("olfs.repairs", &fs.Repairs),
 		mvSnapshots:   r.CounterAt("olfs.mv_snapshots", &fs.MVSnapshots),
+		coalesced:     r.Counter("sched.coalesced_fetches"),
+		batchSize:     r.Histogram("sched.batch_size"),
 	}
 	r.Histogram("olfs.burn.latency")
 	r.Histogram("olfs.fetch.latency")
@@ -274,9 +284,8 @@ func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buff
 		Cat:        image.NewCatalog(),
 		curMu:      sim.NewResource(env, 1),
 		burnQ:      sim.NewQueue[*burnTask](env),
-		groupFreed: sim.NewSignal(env),
-		groupBusy:  make([]bool, len(lib.Groups)),
 		fetches:    make(map[string]*sim.Completion[int]),
+		fetchJoins: make(map[string]int),
 		mounted:    make(map[*optical.Drive]*udf.Volume),
 	}
 	reg := cfg.Obs
@@ -288,9 +297,35 @@ func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buff
 	}
 	fs.bindMetrics(reg)
 	fs.MV.AttachObs(reg)
+	scfg := cfg.Sched
+	scfg.Obs = reg
+	fs.sched = sched.New(env, scfg, lib)
+	// The §4.8 interrupt-burn read policy: when a fetch is starved because
+	// every group is claimed or burning, abort one burning array at its
+	// next chunk boundary; the burn task unloads, requeues itself in
+	// append mode and releases its group claim.
+	fs.sched.SetStarvedHook(func() {
+		if fs.cfg.ReadPolicy != InterruptBurn {
+			return
+		}
+		for _, g := range fs.lib.Groups {
+			if g.AnyBurning() {
+				for _, d := range g.Drives {
+					if d.State() == optical.StateBurning {
+						d.InterruptBurn()
+					}
+				}
+				break
+			}
+		}
+	})
 	env.GoDaemon("olfs-btm", fs.burnDaemon)
 	return fs, nil
 }
+
+// Sched returns the mechanical request scheduler (operational visibility:
+// queue depths, per-class waits).
+func (fs *FS) Sched() *sched.Scheduler { return fs.sched }
 
 // Config returns the effective configuration.
 func (fs *FS) Config() Config { return fs.cfg }

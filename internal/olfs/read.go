@@ -7,6 +7,7 @@ import (
 	"ros/internal/mv"
 	"ros/internal/optical"
 	"ros/internal/rack"
+	"ros/internal/sched"
 	"ros/internal/sim"
 	"ros/internal/udf"
 )
@@ -213,7 +214,7 @@ func (fs *FS) driveForDisc(p *sim.Proc, addr image.DiscAddr) (*optical.Drive, er
 			return g.Drives[addr.Pos], nil
 		}
 	}
-	gi, err := fs.fetchTray(p, addr.Tray)
+	gi, err := fs.fetchTray(p, addr.Tray, sched.Interactive)
 	if err != nil {
 		return nil, err
 	}

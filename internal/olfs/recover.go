@@ -9,6 +9,7 @@ import (
 	"ros/internal/mv"
 	"ros/internal/optical"
 	"ros/internal/rack"
+	"ros/internal/sched"
 	"ros/internal/sim"
 	"ros/internal/udf"
 )
@@ -76,7 +77,7 @@ func (fs *FS) RecoverNamespace(p *sim.Proc, trays []rack.TrayID) error {
 	snapParts := make(map[string][]byte)
 
 	for _, tray := range trays {
-		gi, err := fs.fetchTray(p, tray)
+		gi, err := fs.fetchTray(p, tray, sched.Interactive)
 		if err != nil {
 			return fmt.Errorf("olfs: recover fetch %v: %w", tray, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"ros/internal/image"
 	"ros/internal/optical"
 	"ros/internal/rack"
+	"ros/internal/sched"
 	"ros/internal/sim"
 	"ros/internal/udf"
 )
@@ -24,7 +25,7 @@ type ScrubReport struct {
 // trayBackends fetches the tray and returns the per-position image views and
 // payload length.
 func (fs *FS) trayBackends(p *sim.Proc, tray rack.TrayID) ([]image.Backend, map[int]image.ID, int64, error) {
-	gi, err := fs.fetchTray(p, tray)
+	gi, err := fs.fetchTray(p, tray, sched.Scrub)
 	if err != nil {
 		return nil, nil, 0, err
 	}

@@ -8,6 +8,7 @@ import (
 	"ros/internal/image"
 	"ros/internal/optical"
 	"ros/internal/rack"
+	"ros/internal/sched"
 	"ros/internal/sim"
 )
 
@@ -41,7 +42,7 @@ func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (RepairReport, error
 		return rep, nil
 	}
 	// Probe each disc at the bad strips to find the failing positions.
-	gi, err := fs.fetchTray(p, tray)
+	gi, err := fs.fetchTray(p, tray, sched.Scrub)
 	if err != nil {
 		return rep, err
 	}
@@ -133,8 +134,8 @@ func (fs *FS) StartScrubber(interval time.Duration) func() {
 			}
 			// Only scrub when a group is idle (don't steal from burns/reads).
 			idle := false
-			for gi, g := range fs.lib.Groups {
-				if !fs.groupBusy[gi] && !g.AnyBurning() {
+			for gi := range fs.lib.Groups {
+				if fs.sched.GroupIdle(gi) {
 					idle = true
 					break
 				}

@@ -9,6 +9,7 @@ import (
 	"ros/internal/image"
 	"ros/internal/optical"
 	"ros/internal/rack"
+	"ros/internal/sched"
 	"ros/internal/sim"
 	"ros/internal/udf"
 )
@@ -163,8 +164,7 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 
 	fs.unmountGroup(g)
 	unloadErr := fs.lib.UnloadArray(p, gi, nil)
-	fs.groupBusy[gi] = false
-	fs.groupFreed.Pulse()
+	fs.sched.Release(gi)
 	if unloadErr != nil && firstErr == nil {
 		firstErr = unloadErr
 	}
@@ -268,40 +268,26 @@ func (fs *FS) failBurn(p *sim.Proc, t *burnTask, err error) {
 	t.done.Resolve(err, err)
 }
 
-// acquireGroupForBurn finds a drive group and loads the blank tray into it.
+// acquireGroupForBurn asks the scheduler for a drive group (empty preferred,
+// else an idle victim without pending demand) and loads the blank tray into
+// it. On success the group claim is kept for the whole burn; runBurnTask
+// releases it after the final unload.
 func (fs *FS) acquireGroupForBurn(p *sim.Proc, tray rack.TrayID) (int, error) {
-	for {
-		// Prefer a group with no discs.
-		for gi, g := range fs.lib.Groups {
-			if fs.groupBusy[gi] || g.Loaded() {
-				continue
-			}
-			fs.groupBusy[gi] = true
-			if err := fs.lib.LoadArray(p, tray, gi); err != nil {
-				fs.groupBusy[gi] = false
-				return 0, err
-			}
-			return gi, nil
+	g := fs.sched.AcquireBurn(p, tray)
+	gi := g.Group
+	grp := fs.lib.Groups[gi]
+	if g.Evict {
+		fs.unmountGroup(grp)
+		if err := fs.lib.UnloadArray(p, gi, nil); err != nil {
+			fs.sched.Release(gi)
+			return 0, err
 		}
-		// Otherwise evict an idle (non-burning, non-busy) group.
-		for gi, g := range fs.lib.Groups {
-			if fs.groupBusy[gi] || !g.Loaded() || g.AnyBurning() {
-				continue
-			}
-			fs.groupBusy[gi] = true
-			fs.unmountGroup(g)
-			if err := fs.lib.UnloadArray(p, gi, nil); err != nil {
-				fs.groupBusy[gi] = false
-				return 0, err
-			}
-			if err := fs.lib.LoadArray(p, tray, gi); err != nil {
-				fs.groupBusy[gi] = false
-				return 0, err
-			}
-			return gi, nil
-		}
-		fs.groupFreed.Wait(p)
 	}
+	if err := fs.lib.LoadArray(p, tray, gi); err != nil {
+		fs.sched.Release(gi)
+		return 0, err
+	}
+	return gi, nil
 }
 
 // PrefetchTray explicitly loads a tray into drive group gi (maintenance
@@ -315,26 +301,21 @@ func (fs *FS) PrefetchTray(p *sim.Proc, tray rack.TrayID, gi int) error {
 	if g.Source != nil && *g.Source == tray {
 		return nil
 	}
-	if fs.groupBusy[gi] || g.AnyBurning() {
+	if g.AnyBurning() || !fs.sched.TryClaim(gi) {
 		return fmt.Errorf("olfs: group %d busy", gi)
 	}
-	fs.groupBusy[gi] = true
-	defer func() {
-		fs.groupBusy[gi] = false
-		fs.groupFreed.Pulse()
-	}()
+	defer fs.sched.Release(gi)
 	// If another group holds the requested tray, put that array back first.
 	for ogi, og := range fs.lib.Groups {
 		if ogi == gi || og.Source == nil || *og.Source != tray {
 			continue
 		}
-		if fs.groupBusy[ogi] || og.AnyBurning() {
+		if og.AnyBurning() || !fs.sched.TryClaim(ogi) {
 			return fmt.Errorf("olfs: tray %v pinned in busy group %d", tray, ogi)
 		}
-		fs.groupBusy[ogi] = true
 		fs.unmountGroup(og)
 		err := fs.lib.UnloadArray(p, ogi, nil)
-		fs.groupBusy[ogi] = false
+		fs.sched.Release(ogi)
 		if err != nil {
 			return err
 		}
@@ -349,9 +330,15 @@ func (fs *FS) PrefetchTray(p *sim.Proc, tray rack.TrayID, gi int) error {
 }
 
 // fetchTray brings the disc array holding requested data into a drive group
-// (FTM). Concurrent fetches of the same tray coalesce. Returns the group
+// (FTM). Concurrent fetches of the same tray coalesce into one mechanical
+// load; the tray's scheduler demand stays pinned from first request until
+// every coalesced consumer has its group index, so victim selection can
+// never swap the array out from under queued waiters. Returns the group
 // index now holding the tray.
-func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID) (int, error) {
+func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID, class sched.Class) (int, error) {
+	key := tray.String()
+	fs.sched.Pin(tray)
+	defer fs.sched.Unpin(tray)
 	for {
 		// Already loaded?
 		for gi, g := range fs.lib.Groups {
@@ -359,9 +346,10 @@ func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID) (int, error) {
 				return gi, nil
 			}
 		}
-		key := tray.String()
 		if c, ok := fs.fetches[key]; ok {
 			// Coalesce with the in-flight fetch, then re-verify.
+			fs.fetchJoins[key]++
+			fs.m.coalesced.Add(1)
 			if _, err := c.Wait(p); err != nil {
 				return 0, err
 			}
@@ -369,69 +357,46 @@ func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID) (int, error) {
 		}
 		c := sim.NewCompletion[int](fs.env)
 		fs.fetches[key] = c
-		gi, err := fs.runFetch(p, tray)
+		gi, err := fs.runFetch(p, tray, class)
+		fs.m.batchSize.Observe(int64(1 + fs.fetchJoins[key]))
+		delete(fs.fetchJoins, key)
 		delete(fs.fetches, key)
 		c.Resolve(gi, err)
 		return gi, err
 	}
 }
 
-// runFetch performs the mechanical fetch per the configured read policy.
-func (fs *FS) runFetch(p *sim.Proc, tray rack.TrayID) (int, error) {
+// runFetch performs the mechanical fetch: the scheduler picks the group (and
+// victim, if a swap is needed) per the configured policy, this side does the
+// mechanical work. The §4.8 all-drives-burning read policy is applied by the
+// scheduler's starvation hook.
+func (fs *FS) runFetch(p *sim.Proc, tray rack.TrayID, class sched.Class) (int, error) {
 	fs.m.fetchTasks.Add(1)
 	sp := fs.obs.StartSpan("olfs.fetch.latency")
 	defer sp.End()
 	defer fs.env.Emit("olfs.fetch", p.Name(), tray.String())
-	for {
-		// Case: a group with free drives (Table 1 row 4, ~70 s).
-		for gi, g := range fs.lib.Groups {
-			if fs.groupBusy[gi] || g.Loaded() {
-				continue
-			}
-			fs.groupBusy[gi] = true
-			err := fs.lib.LoadArray(p, tray, gi)
-			fs.groupBusy[gi] = false
-			fs.groupFreed.Pulse()
-			if err != nil {
-				return 0, err
-			}
-			return gi, nil
-		}
-		// Case: an idle loaded group (Table 1 row 5, ~155 s: unload+load).
-		for gi, g := range fs.lib.Groups {
-			if fs.groupBusy[gi] || !g.Loaded() || g.AnyBurning() {
-				continue
-			}
-			fs.groupBusy[gi] = true
-			fs.unmountGroup(g)
-			err := fs.lib.UnloadArray(p, gi, nil)
-			if err == nil {
-				err = fs.lib.LoadArray(p, tray, gi)
-			}
-			fs.groupBusy[gi] = false
-			fs.groupFreed.Pulse()
-			if err != nil {
-				return 0, err
-			}
-			return gi, nil
-		}
-		// Case: every group is burning (Table 1 row 6, "minutes").
-		if fs.cfg.ReadPolicy == InterruptBurn {
-			for _, g := range fs.lib.Groups {
-				if g.AnyBurning() {
-					// Abort at the next chunk boundary; the burn task will
-					// unload, requeue itself in append mode, and pulse.
-					for _, d := range g.Drives {
-						if d.State() == optical.StateBurning {
-							d.InterruptBurn()
-						}
-					}
-					break
-				}
-			}
-		}
-		fs.groupFreed.Wait(p)
+	g := fs.sched.AcquireFetch(p, class, tray)
+	gi := g.Group
+	if g.Hit {
+		// Another task loaded the tray while we were queued.
+		return gi, nil
 	}
+	grp := fs.lib.Groups[gi]
+	var err error
+	if g.Evict {
+		// Table 1 row 5, ~155 s: unload the victim, then load.
+		fs.unmountGroup(grp)
+		err = fs.lib.UnloadArray(p, gi, nil)
+	}
+	if err == nil {
+		// Table 1 row 4, ~70 s: plain load into the (now) empty group.
+		err = fs.lib.LoadArray(p, tray, gi)
+	}
+	fs.sched.Release(gi)
+	if err != nil {
+		return 0, err
+	}
+	return gi, nil
 }
 
 func maxI64(a, b int64) int64 {

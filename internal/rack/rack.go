@@ -132,6 +132,7 @@ func PrototypeConfig() Config {
 type Library struct {
 	env     *sim.Env
 	cfg     Config
+	timing  plc.Timing
 	obs     *obs.Registry
 	Rollers []*Roller
 	Groups  []*DriveGroup
@@ -162,7 +163,7 @@ func New(env *sim.Env, cfg Config) (*Library, error) {
 	if reg == nil {
 		reg = obs.New(env)
 	}
-	lib := &Library{env: env, cfg: cfg, obs: reg}
+	lib := &Library{env: env, cfg: cfg, timing: timing, obs: reg}
 	reg.CounterAt("rack.loads", &lib.Loads)
 	reg.CounterAt("rack.unloads", &lib.Unloads)
 	for ri := 0; ri < cfg.Rollers; ri++ {
@@ -220,6 +221,61 @@ func (lib *Library) Group(gi int) (*DriveGroup, error) {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchGroup, gi)
 	}
 	return lib.Groups[gi], nil
+}
+
+// ArmLayer returns roller ri's current arm layer as reported by the PLC
+// sensors. The "atop drives" rest position maps to the uppermost layer, so
+// the result is always a valid tray layer for distance arithmetic.
+func (lib *Library) ArmLayer(ri int) int {
+	if ri < 0 || ri >= len(lib.Rollers) {
+		return 0
+	}
+	l := lib.Rollers[ri].Ctl.Sensors().ArmLayer
+	if l >= LayersPerRoller {
+		l = LayersPerRoller - 1
+	}
+	if l < 0 {
+		l = 0
+	}
+	return l
+}
+
+// LayerDistance returns the vertical arm travel, in layers, between two
+// trays. Trays on different rollers cost nothing relative to each other:
+// each roller has its own arm.
+func LayerDistance(a, b TrayID) int {
+	if a.Roller != b.Roller {
+		return 0
+	}
+	d := a.Layer - b.Layer
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// TravelCost estimates the empty-arm time to move from layer `from` to tray
+// id's layer under the library's PLC timing: the per-move positioning base
+// plus the full-stroke time scaled by the layer distance. Schedulers use it
+// to order pending fetches by mechanical cost.
+func (lib *Library) TravelCost(from int, id TrayID) time.Duration {
+	d := from - id.Layer
+	if d < 0 {
+		d = -d
+	}
+	return lib.timing.ArmBaseEmpty +
+		time.Duration(d)*lib.timing.ArmFullStroke/time.Duration(LayersPerRoller-1)
+}
+
+// ArmTime returns the total virtual time the arm motors have spent moving,
+// summed over rollers — the mechanical-travel figure of merit for
+// scheduling experiments.
+func (lib *Library) ArmTime() time.Duration {
+	var t time.Duration
+	for _, r := range lib.Rollers {
+		t += r.Ctl.ArmTime
+	}
+	return t
 }
 
 // TotalDiscs returns the number of discs currently resident in trays.

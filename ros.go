@@ -36,6 +36,7 @@ import (
 	"ros/internal/pagecache"
 	"ros/internal/rack"
 	"ros/internal/raid"
+	"ros/internal/sched"
 	"ros/internal/sim"
 )
 
@@ -83,6 +84,10 @@ type Options struct {
 	BurnCap float64
 	// FS tunes OLFS; zero fields take the paper-calibrated defaults.
 	FS FSConfig
+	// SchedPolicy selects the mechanical scheduler policy: "fifo" (legacy
+	// arrival-order arbitration, the default) or "qos-scan" (QoS classes with
+	// deadline aging, SCAN/elevator tray ordering and LRU victim selection).
+	SchedPolicy string
 	// DisableAutoBurn turns off automatic burning (burn explicitly with
 	// FS.FlushAndBurn). By default full image sets burn as they form.
 	DisableAutoBurn bool
@@ -165,6 +170,11 @@ func New(o Options) (*System, error) {
 	}
 	cfg.AutoBurn = !o.DisableAutoBurn
 	cfg.BucketBytes = o.BucketBytes
+	pol, err := sched.ParsePolicy(o.SchedPolicy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Sched.Policy = pol
 	fs, err := olfs.New(env, cfg, lib, mvArr, buffer)
 	if err != nil {
 		return nil, err
