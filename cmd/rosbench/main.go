@@ -9,9 +9,11 @@
 //	rosbench -exp table1
 //	rosbench -exp ablations      # the design-choice ablation suite
 //	rosbench -exp fig9 -exp fig10
+//	rosbench -exp table1 -json out.json   # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +61,7 @@ func main() {
 	flag.Var(&exps, "exp", "experiment id, 'all' (paper suite) or 'ablations' (repeatable)")
 	list := flag.Bool("list", false, "list experiment ids")
 	plot := flag.Bool("plot", true, "render figure series as ASCII charts")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -80,6 +83,7 @@ func main() {
 	}
 
 	failed := false
+	var collected []experiments.Result
 	for _, id := range exps {
 		switch id {
 		case "all":
@@ -90,6 +94,7 @@ func main() {
 					fmt.Print(r.RenderPlots())
 				}
 			}
+			collected = append(collected, results...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				failed = true
@@ -99,6 +104,7 @@ func main() {
 			for _, r := range results {
 				fmt.Println(r)
 			}
+			collected = append(collected, results...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 				failed = true
@@ -121,10 +127,52 @@ func main() {
 			if *plot {
 				fmt.Print(r.RenderPlots())
 			}
+			collected = append(collected, r)
 			fmt.Printf("(host time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, collected); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			failed = true
 		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeJSON serializes completed experiment results (metrics with per-row
+// deviation, figure series, notes) for downstream tooling.
+func writeJSON(path string, results []experiments.Result) error {
+	type metricJSON struct {
+		Name      string  `json:"name"`
+		Paper     float64 `json:"paper"`
+		Measured  float64 `json:"measured"`
+		Deviation float64 `json:"deviation"`
+		Unit      string  `json:"unit,omitempty"`
+	}
+	type resultJSON struct {
+		ID      string                         `json:"id"`
+		Title   string                         `json:"title"`
+		Metrics []metricJSON                   `json:"metrics,omitempty"`
+		Series  map[string][]experiments.Point `json:"series,omitempty"`
+		Notes   string                         `json:"notes,omitempty"`
+	}
+	out := make([]resultJSON, 0, len(results))
+	for _, r := range results {
+		rj := resultJSON{ID: r.ID, Title: r.Title, Series: r.Series, Notes: r.Notes}
+		for _, m := range r.Metrics {
+			rj.Metrics = append(rj.Metrics, metricJSON{
+				Name: m.Name, Paper: m.Paper, Measured: m.Measured,
+				Deviation: m.Deviation(), Unit: m.Unit,
+			})
+		}
+		out = append(out, rj)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

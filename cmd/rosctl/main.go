@@ -25,6 +25,10 @@
 //	status                  counters, drive states, buffer occupancy
 //	stats [--json]          unified obs snapshot (counters, gauges, latency
 //	                        histograms with p50/p95/p99); --json for machines
+//	trace list              captured request traces (tail-sampled journal)
+//	trace show <id>         one trace as a span tree + critical-path breakdown
+//	trace export --perfetto [<id>]
+//	                        Chrome/Perfetto trace_event JSON (ui.perfetto.dev)
 //	power                   current modeled power draw
 //	clock                   virtual time
 //	help / quit
@@ -43,6 +47,7 @@ import (
 
 	"ros"
 	"ros/internal/image"
+	"ros/internal/obs"
 	"ros/internal/optical"
 	"ros/internal/power"
 	"ros/internal/rack"
@@ -51,7 +56,14 @@ import (
 )
 
 func main() {
-	sys, err := ros.New(ros.Options{BucketBytes: 4 << 20, DisableAutoBurn: true})
+	// RecycleAfterBurn keeps burned buckets out of the read cache so a read
+	// after `burn` exercises the full mechanical chain — the interesting case
+	// for `trace show`.
+	sys, err := ros.New(ros.Options{
+		BucketBytes:     4 << 20,
+		DisableAutoBurn: true,
+		FS:              ros.FSConfig{RecycleAfterBurn: true},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assemble:", err)
 		os.Exit(1)
@@ -95,7 +107,7 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 	fs := sys.FS
 	switch fields[0] {
 	case "help":
-		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats power clock quit")
+		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats trace power clock quit")
 	case "ingest":
 		// Direct-writing mode (§4.8): wire-speed staging, async delivery.
 		if len(fields) != 3 {
@@ -292,6 +304,8 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 			return nil
 		}
 		fmt.Print(snap)
+	case "trace":
+		return traceCommand(fs.Tracer(), fields[1:])
 	case "power":
 		burning, idleDr := 0, 0
 		for _, g := range sys.Library.Groups {
@@ -309,6 +323,76 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		fmt.Printf("  modeled draw: %.0f W (idle %.0f W, peak %.0f W)\n", draw, cfg.Idle(), cfg.Peak())
 	default:
 		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return nil
+}
+
+// traceCommand implements `trace list|show <id>|export --perfetto [<id>]`
+// over the FS's causal-trace journal.
+func traceCommand(tr *obs.Tracer, args []string) error {
+	if tr == nil {
+		return fmt.Errorf("tracing is disabled (TraceCapacity < 0)")
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("usage: trace list | trace show <id> | trace export --perfetto [<id>]")
+	}
+	switch args[0] {
+	case "list":
+		traces := tr.Traces()
+		if len(traces) == 0 {
+			fmt.Println("  no captured traces (run some requests first)")
+			return nil
+		}
+		for _, t := range traces {
+			flags := ""
+			if t.Err != "" {
+				flags += " err=" + strconv.Quote(t.Err)
+			}
+			if t.Retries > 0 {
+				flags += fmt.Sprintf(" retries=%d", t.Retries)
+			}
+			fmt.Printf("  %4d %-12s %-11s start=%-14v dur=%-14v spans=%d%s\n",
+				t.ID, t.Name, t.Class, t.Start, t.Duration(), len(t.Spans()), flags)
+		}
+	case "show":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: trace show <id>")
+		}
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad trace id %q", args[1])
+		}
+		t := tr.Trace(id)
+		if t == nil {
+			return fmt.Errorf("no captured trace %d (see trace list)", id)
+		}
+		fmt.Print(t.Format())
+	case "export":
+		traces := tr.Traces()
+		rest := args[1:]
+		if len(rest) > 0 && rest[0] == "--perfetto" {
+			rest = rest[1:]
+		}
+		if len(rest) == 1 {
+			id, err := strconv.ParseInt(rest[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad trace id %q", rest[0])
+			}
+			t := tr.Trace(id)
+			if t == nil {
+				return fmt.Errorf("no captured trace %d (see trace list)", id)
+			}
+			traces = []*obs.Trace{t}
+		} else if len(rest) > 1 {
+			return fmt.Errorf("usage: trace export --perfetto [<id>]")
+		}
+		js, err := obs.PerfettoJSON(traces)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(js))
+	default:
+		return fmt.Errorf("unknown trace subcommand %q (list, show, export)", args[0])
 	}
 	return nil
 }

@@ -14,6 +14,9 @@
 //	SYNC\n                                  -> OK\n  (seal current bucket)
 //	BURN\n                                  -> OK <virtual-duration>\n (flush + burn)
 //	STATS\n                                 -> OK <nbytes>\n<unified obs snapshot JSON>
+//	TRACE LIST\n                            -> OK <count>\n<one line per trace>
+//	TRACE SHOW <id>\n                       -> OK <nbytes>\n<span tree + critical path>
+//	TRACE EXPORT [<id>]\n                   -> OK <nbytes>\n<Perfetto trace_event JSON>
 //	QUIT\n
 //
 // Usage:
@@ -35,6 +38,7 @@ import (
 	"sync"
 
 	"ros"
+	"ros/internal/obs"
 	"ros/internal/sim"
 )
 
@@ -64,6 +68,58 @@ func (s *server) snapshotJSON() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sys.Obs.Snapshot().JSON()
+}
+
+// traceRequest serves the TRACE verb (LIST, SHOW <id>, EXPORT [<id>]) under
+// the sim lock.
+func (s *server) traceRequest(args []string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := s.sys.FS.Tracer()
+	if tr == nil {
+		return "", fmt.Errorf("tracing disabled")
+	}
+	switch strings.ToUpper(args[0]) {
+	case "LIST":
+		var b strings.Builder
+		for _, t := range tr.Traces() {
+			fmt.Fprintf(&b, "%d %s %s %v %v %d %d\n",
+				t.ID, t.Name, t.Class, t.Start, t.Duration(), len(t.Spans()), t.Retries)
+		}
+		return b.String(), nil
+	case "SHOW":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: TRACE SHOW <id>")
+		}
+		id, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("bad trace id %q", args[1])
+		}
+		t := tr.Trace(id)
+		if t == nil {
+			return "", fmt.Errorf("no captured trace %d", id)
+		}
+		return t.Format(), nil
+	case "EXPORT":
+		traces := tr.Traces()
+		if len(args) == 2 {
+			id, err := strconv.ParseInt(args[1], 10, 64)
+			if err != nil {
+				return "", fmt.Errorf("bad trace id %q", args[1])
+			}
+			t := tr.Trace(id)
+			if t == nil {
+				return "", fmt.Errorf("no captured trace %d", id)
+			}
+			traces = []*obs.Trace{t}
+		}
+		js, err := obs.PerfettoJSON(traces)
+		if err != nil {
+			return "", err
+		}
+		return string(js) + "\n", nil
+	}
+	return "", fmt.Errorf("unknown TRACE subcommand %q", args[0])
 }
 
 func main() {
@@ -239,6 +295,22 @@ func handle(srv *server, conn net.Conn) {
 				w.Write(js)
 				fmt.Fprintln(w)
 			})
+		case "TRACE":
+			if len(fields) < 2 {
+				fmt.Fprintf(w, "ERR usage: TRACE LIST | TRACE SHOW <id> | TRACE EXPORT [<id>]\n")
+				continue
+			}
+			out, err := srv.traceRequest(fields[1:])
+			reply(w, err, func() {
+				if strings.ToUpper(fields[1]) == "LIST" {
+					lines := strings.Count(out, "\n")
+					fmt.Fprintf(w, "OK %d\n", lines)
+					w.WriteString(out)
+				} else {
+					fmt.Fprintf(w, "OK %d\n", len(out))
+					w.WriteString(out)
+				}
+			})
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", fields[0])
 		}
@@ -331,6 +403,20 @@ func runDemo(addr string) error {
 		return err
 	}
 	fmt.Println("client: STATS ->", sn, "bytes of snapshot JSON")
+
+	fmt.Fprintf(w, "TRACE LIST\n")
+	w.Flush()
+	line, _ = r.ReadString('\n')
+	var tn int
+	if _, err := fmt.Sscanf(line, "OK %d", &tn); err != nil {
+		return fmt.Errorf("TRACE LIST reply %q: %w", line, err)
+	}
+	for i := 0; i < tn; i++ {
+		if _, err := r.ReadString('\n'); err != nil {
+			return err
+		}
+	}
+	fmt.Println("client: TRACE LIST ->", tn, "captured traces")
 
 	fmt.Fprintf(w, "QUIT\n")
 	w.Flush()

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"ros/internal/image"
+	"ros/internal/obs"
 	"ros/internal/olfs"
 	"ros/internal/rack"
 	"ros/internal/sched"
@@ -37,6 +39,7 @@ func AblationScheduler() (Result, error) {
 		makespan float64 // mixed phase duration (reads + burns all done), s
 		travel   float64 // arm travel in the mixed phase, layers
 		armSec   float64 // arm busy time in the mixed phase, s
+		critpath string  // aggregated cold-read critical-path breakdown
 	}
 	measure := func(policy sched.Policy) (outcome, error) {
 		var out outcome
@@ -134,6 +137,7 @@ func AblationScheduler() (Result, error) {
 		}
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		out.p95 = lats[(len(lats)*95+99)/100-1].Seconds()
+		out.critpath = criticalPhases(fs.Tracer(), "olfs.read")
 		return out, nil
 	}
 
@@ -155,6 +159,50 @@ func AblationScheduler() (Result, error) {
 		{Name: "mixed-phase makespan, fifo", Paper: 0, Measured: fifo.makespan, Unit: "s"},
 		{Name: "mixed-phase makespan, qos-scan", Paper: 0, Measured: qos.makespan, Unit: "s (identical total work)"},
 	}
-	res.Notes = "shape: qos-scan < fifo on p95 read latency and arm travel at comparable makespan"
+	res.Notes = "shape: qos-scan < fifo on p95 read latency and arm travel at comparable makespan\n" +
+		"cold-read critical path, fifo:     " + fifo.critpath + "\n" +
+		"cold-read critical path, qos-scan: " + qos.critpath
 	return res, nil
+}
+
+// criticalPhases aggregates the critical-path attribution of every captured
+// trace named root, returning a Fig 6-style per-phase latency breakdown: each
+// phase's share of the summed end-to-end latency, largest first.
+func criticalPhases(tr *obs.Tracer, root string) string {
+	totals := map[string]time.Duration{}
+	n := 0
+	for _, t := range tr.Traces() {
+		if t.Name != root {
+			continue
+		}
+		n++
+		for _, ph := range t.CriticalPath() {
+			totals[ph.Name] += ph.Dur
+		}
+	}
+	if n == 0 {
+		return "no traces captured"
+	}
+	type phase struct {
+		name string
+		dur  time.Duration
+	}
+	var list []phase
+	var sum time.Duration
+	for name, d := range totals {
+		list = append(list, phase{name, d})
+		sum += d
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].dur != list[j].dur {
+			return list[i].dur > list[j].dur
+		}
+		return list[i].name < list[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d traces", n)
+	for _, ph := range list {
+		fmt.Fprintf(&b, " | %s %.1f%%", ph.name, 100*float64(ph.dur)/float64(sum))
+	}
+	return b.String()
 }

@@ -35,7 +35,8 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
-	open     int // spans started and not yet ended/cancelled
+	open     int     // spans started and not yet ended/cancelled
+	tracer   *Tracer // optional causal request tracer (see trace.go)
 }
 
 // New creates a registry bound to env and subscribes it to the environment's
@@ -345,12 +346,39 @@ func (s *Span) Cancel() {
 	s.r.open--
 }
 
-// OpenSpans returns the number of spans started but not yet ended/cancelled.
+// OpenSpans returns the number of spans started but not yet ended/cancelled,
+// including unfinished trace spans from an attached Tracer — the figure leak
+// tests assert is zero after a workload drains.
 func (r *Registry) OpenSpans() int {
 	if r == nil {
 		return 0
 	}
-	return r.open
+	return r.open + r.tracer.OpenSpans()
+}
+
+// AttachTracer binds a Tracer to the registry: its open trace spans count
+// toward OpenSpans (and the span-leak warning in Snapshot), and its lifecycle
+// stats surface as trace.* counters. A nil tracer detaches.
+func (r *Registry) AttachTracer(t *Tracer) {
+	if r == nil {
+		return
+	}
+	r.tracer = t
+	if t != nil {
+		r.CounterAt("trace.started", &t.Started)
+		r.CounterAt("trace.finished", &t.Finished)
+		r.CounterAt("trace.captured", &t.Captured)
+		r.CounterAt("trace.sampled_out", &t.Sampled)
+		r.CounterAt("trace.evicted", &t.Evicted)
+	}
+}
+
+// Tracer returns the attached tracer, or nil.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
 }
 
 // CounterSnapshot is one counter in a Snapshot.
@@ -387,6 +415,11 @@ type Snapshot struct {
 	Gauges     []GaugeSnapshot     `json:"gauges"`
 	Histograms []HistogramSnapshot `json:"histograms"`
 	OpenSpans  int                 `json:"open_spans"`
+	// Warnings flags observability-health problems visible at snapshot time —
+	// currently span leaks (OpenSpans > 0 means some operation started a
+	// metric or trace span and never closed it, e.g. an orphaned requeue
+	// path). Empty on a healthy registry, omitted from JSON when empty.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Snapshot exports all metrics. Safe on a nil registry (returns zero value).
@@ -396,7 +429,12 @@ func (r *Registry) Snapshot() Snapshot {
 		return s
 	}
 	s.Now = int64(r.now())
-	s.OpenSpans = r.open
+	s.OpenSpans = r.OpenSpans()
+	if s.OpenSpans > 0 {
+		s.Warnings = append(s.Warnings, fmt.Sprintf(
+			"span leak: %d span(s) still open (%d metric, %d trace)",
+			s.OpenSpans, r.open, r.tracer.OpenSpans()))
+	}
 	for name, c := range r.counters {
 		s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: c.Value()})
 	}
@@ -430,6 +468,9 @@ func (s Snapshot) JSON() ([]byte, error) {
 // String renders a compact human-readable form of the snapshot.
 func (s Snapshot) String() string {
 	out := fmt.Sprintf("t=%s spans_open=%d\n", time.Duration(s.Now), s.OpenSpans)
+	for _, w := range s.Warnings {
+		out += fmt.Sprintf("  WARNING %s\n", w)
+	}
 	for _, c := range s.Counters {
 		out += fmt.Sprintf("  counter %-32s %d\n", c.Name, c.Value)
 	}

@@ -101,6 +101,11 @@ type Config struct {
 	// Obs is the metrics registry to record into. Nil falls back to the
 	// rack library's registry, so the whole stack shares one snapshot.
 	Obs *obs.Registry
+
+	// Trace configures the causal request tracer (journal capacity, tail
+	// sampling). The zero value enables tracing with defaults; set
+	// Trace.Capacity negative to disable.
+	Trace obs.TracerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -197,8 +202,9 @@ type FS struct {
 	Repairs       int64
 	MVSnapshots   int64
 
-	obs *obs.Registry
-	m   fsMetrics
+	obs    *obs.Registry
+	tracer *obs.Tracer
+	m      fsMetrics
 }
 
 // fsMetrics caches the registry handles for OLFS's counters and the latency
@@ -296,6 +302,8 @@ func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buff
 		reg = obs.New(env)
 	}
 	fs.bindMetrics(reg)
+	fs.tracer = obs.NewTracer(env, cfg.Trace)
+	reg.AttachTracer(fs.tracer)
 	fs.MV.AttachObs(reg)
 	scfg := cfg.Sched
 	scfg.Obs = reg
@@ -336,6 +344,9 @@ func (fs *FS) Library() *rack.Library { return fs.lib }
 // Obs returns the metrics registry shared by the whole stack.
 func (fs *FS) Obs() *obs.Registry { return fs.obs }
 
+// Tracer returns the causal request tracer (nil when tracing is disabled).
+func (fs *FS) Tracer() *obs.Tracer { return fs.tracer }
+
 // Stop shuts down background daemons (after draining, for tests).
 func (fs *FS) Stop() {
 	if !fs.stopped {
@@ -363,11 +374,13 @@ func (fs *FS) StopTrace() []OpTrace {
 func (fs *FS) op(p *sim.Proc, name string, fn func() error) error {
 	p.Sleep(fs.cfg.SwitchCost)
 	start := p.Now()
+	sp := obs.StartChild(p, "olfs.op."+name)
 	err := fn()
+	sp.Fail(p, err)
 	if fs.tracing {
 		fs.trace = append(fs.trace, OpTrace{Name: name, Start: start, Dur: p.Now() - start})
 	}
-	fs.obs.Histogram("olfs.op." + name).ObserveSince(start, p.Now())
+	fs.obs.Histogram("olfs.op."+name).ObserveSince(start, p.Now())
 	return err
 }
 
@@ -380,11 +393,13 @@ func (fs *FS) dataOp(p *sim.Proc, name string, fn func() error) error {
 		return fs.op(p, name, fn)
 	}
 	start := p.Now()
+	sp := obs.StartChild(p, "olfs.op."+name)
 	err := fn()
+	sp.Fail(p, err)
 	if fs.tracing {
 		fs.trace = append(fs.trace, OpTrace{Name: name, Start: start, Dur: p.Now() - start})
 	}
-	fs.obs.Histogram("olfs.op." + name).ObserveSince(start, p.Now())
+	fs.obs.Histogram("olfs.op."+name).ObserveSince(start, p.Now())
 	return err
 }
 

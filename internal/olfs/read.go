@@ -245,7 +245,10 @@ func (fs *FS) unmountGroup(g *rack.DriveGroup) {
 }
 
 // ReadFile reads the whole current version of path (stat + reads + close).
-func (fs *FS) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+func (fs *FS) ReadFile(p *sim.Proc, path string) (data []byte, err error) {
+	op := fs.tracer.StartOp(p, "olfs.read", "interactive")
+	op.Annotate("path", path)
+	defer func() { op.Finish(p, err) }()
 	fr, err := fs.OpenFile(p, path)
 	if err != nil {
 		return nil, err

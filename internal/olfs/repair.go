@@ -5,6 +5,7 @@ import (
 
 	"ros/internal/bucket"
 	"ros/internal/image"
+	"ros/internal/obs"
 	"ros/internal/optical"
 	"ros/internal/rack"
 	"ros/internal/sched"
@@ -49,8 +50,11 @@ func (fs *FS) trayBackends(p *sim.Proc, tray rack.TrayID) ([]image.Backend, map[
 
 // ScrubTray verifies cross-disc parity for a burned tray, reading every disc
 // through the drives. Sector errors surface as bad strips.
-func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (ScrubReport, error) {
-	rep := ScrubReport{Tray: tray}
+func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (rep ScrubReport, err error) {
+	op := fs.tracer.StartOp(p, "olfs.scrub", "scrub")
+	op.Annotate("tray", tray.String())
+	defer func() { op.Finish(p, err) }()
+	rep = ScrubReport{Tray: tray}
 	if fs.Cat.DAState(tray) != image.DAUsed {
 		return rep, fmt.Errorf("olfs: tray %v is not a burned array", tray)
 	}
@@ -67,10 +71,15 @@ func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (ScrubReport, error) {
 	}
 	data := backends[:dataN]
 	parity := backends[dataN : dataN+fs.cfg.ParityDiscs]
+	vsp := obs.StartChild(p, "optical.verify")
+	vsp.Annotate("bytes", fmt.Sprintf("%d", length))
 	bad, err := image.VerifyParity(p, data, parity, length)
 	if err != nil {
+		vsp.Fail(p, err)
 		return rep, err
 	}
+	vsp.Annotate("bad_strips", fmt.Sprintf("%d", len(bad)))
+	vsp.End(p)
 	rep.Checked = length
 	rep.BadStrips = bad
 	return rep, nil
@@ -82,7 +91,10 @@ func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (ScrubReport, error) {
 // can be re-burned to a free disc array (§4.7: "The recovered data can be
 // written to new buckets and finally burned into free disc arrays"). The old
 // disc location is forgotten.
-func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (*bucket.Bucket, error) {
+func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err error) {
+	op := fs.tracer.StartOp(p, "olfs.recover", "scrub")
+	op.Annotate("image", id.String())
+	defer func() { op.Finish(p, err) }()
 	addr, ok := fs.Cat.Locate(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: image %s not on disc", ErrPartMissing, id)
@@ -102,7 +114,7 @@ func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (*bucket.Bucket, error) {
 		}
 	}
 	parity := backends[dataN : dataN+fs.cfg.ParityDiscs]
-	nb, err := fs.Buckets.OpenRaw(p, length)
+	nb, err = fs.Buckets.OpenRaw(p, length)
 	if err != nil {
 		return nil, err
 	}

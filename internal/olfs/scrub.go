@@ -31,8 +31,10 @@ type RepairReport struct {
 // discs are found, the affected data images are reconstructed from the
 // surviving discs into new buckets and queued for re-burning onto a free
 // array.
-func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (RepairReport, error) {
-	var rep RepairReport
+func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (rep RepairReport, err error) {
+	op := fs.tracer.StartOp(p, "olfs.scrub", "scrub")
+	op.Annotate("tray", tray.String())
+	defer func() { op.Finish(p, err) }()
 	scrub, err := fs.ScrubTray(p, tray)
 	rep.Scrub = scrub
 	if err != nil {

@@ -75,6 +75,16 @@ func (fs *FS) burnDaemon(p *sim.Proc) {
 func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 	sp := fs.obs.StartSpan("olfs.burn.latency")
 	defer sp.End()
+	// Each run segment is its own trace; segments that end in a requeue
+	// (interrupt resume, hard-fail retry) are marked as retried so tail
+	// sampling always captures them.
+	op := fs.tracer.StartOp(p, "olfs.burn", "burn")
+	op.Annotate("images", fmt.Sprintf("%d", len(t.images)))
+	if t.resumed {
+		op.Annotate("resumed", "true")
+	}
+	var opErr error
+	defer func() { op.Finish(p, opErr) }()
 	if t.resumed {
 		// This run is the append-mode continuation of an interrupted burn.
 		// Clear the flag now: if this run hard-fails, the retry restarts from
@@ -84,6 +94,7 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 	}
 	if t.parity == nil && fs.cfg.ParityDiscs > 0 {
 		if err := fs.generateParity(p, t); err != nil {
+			opErr = err
 			fs.failBurn(p, t, err)
 			return
 		}
@@ -91,6 +102,7 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 	if t.tray == nil {
 		tray, ok := fs.Cat.FindEmptyTray(fs.lib)
 		if !ok {
+			opErr = ErrNoBlankTray
 			fs.failBurn(p, t, ErrNoBlankTray)
 			return
 		}
@@ -104,8 +116,10 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 		t.progress = make([]burnProg, len(all))
 	}
 
+	op.Annotate("tray", t.tray.String())
 	gi, err := fs.acquireGroupForBurn(p, *t.tray)
 	if err != nil {
+		opErr = err
 		fs.failBurn(p, t, err)
 		return
 	}
@@ -122,7 +136,13 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 		img := all[i]
 		comps[i] = sim.NewCompletion[result](fs.env)
 		c := comps[i]
+		// Hand the burn trace to each per-disc process: their optical.burn
+		// spans nest under this task's olfs.burn span, and every per-disc
+		// process is awaited below, so no span outlives the trace.
+		tctx := p.TraceContext()
 		fs.env.Go(fmt.Sprintf("burn-%s-d%d", t.tray, i), func(bp *sim.Proc) {
+			bp.SetTraceContext(tctx)
+			defer bp.SetTraceContext(nil)
 			bp.Sleep(time.Duration(i) * fs.cfg.BurnStagger)
 			pr := &t.progress[i]
 			if pr.done {
@@ -179,34 +199,39 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 			fs.m.interruptedBs.Add(1)
 		}
 		fs.Cat.SetDAState(*t.tray, image.DAFailed)
-		fs.env.Emit("olfs.burn.fail", p.Name(), t.tray.String())
+		fs.env.Emit(sim.KindBurnFail, p.Name(), t.tray.String())
 		t.tray = nil
 		t.progress = nil
 		t.resumed = false
 		t.attempts++
 		if t.attempts < 2 {
+			op.Retry()
 			fs.burnQ.Push(t)
 			return
 		}
+		opErr = firstErr
 		fs.failBurn(p, t, firstErr)
 	case interrupted:
 		// A fetch preempted us (§4.8 interrupt policy): requeue to resume
 		// with append-mode burning on the same tray.
 		fs.m.interruptedBs.Add(1)
-		fs.env.Emit("olfs.burn.interrupt", p.Name(), t.tray.String())
+		fs.env.Emit(sim.KindBurnInterrupt, p.Name(), t.tray.String())
+		op.Retry()
 		t.resumed = true
 		fs.burnQ.Push(t)
 	default:
-		fs.env.Emit("olfs.burn.finish", p.Name(), t.tray.String())
+		fs.env.Emit(sim.KindBurnFinish, p.Name(), t.tray.String())
 		fs.finishBurn(p, t, all)
 	}
 }
 
 // generateParity allocates parity slots and computes P (and Q) across the
 // data images (DIM, §4.7).
-func (fs *FS) generateParity(p *sim.Proc, t *burnTask) error {
+func (fs *FS) generateParity(p *sim.Proc, t *burnTask) (err error) {
 	sp := fs.obs.StartSpan("olfs.parity.latency")
 	defer sp.End()
+	op := fs.tracer.StartOp(p, "olfs.parity", "burn")
+	defer func() { op.Finish(p, err) }()
 	length := int64(0)
 	data := make([]image.Backend, len(t.images))
 	for i, b := range t.images {
@@ -335,7 +360,10 @@ func (fs *FS) PrefetchTray(p *sim.Proc, tray rack.TrayID, gi int) error {
 // every coalesced consumer has its group index, so victim selection can
 // never swap the array out from under queued waiters. Returns the group
 // index now holding the tray.
-func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID, class sched.Class) (int, error) {
+func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID, class sched.Class) (gi int, err error) {
+	op := fs.tracer.StartOp(p, "olfs.fetch", class.String())
+	op.Annotate("tray", tray.String())
+	defer func() { op.Finish(p, err) }()
 	key := tray.String()
 	fs.sched.Pin(tray)
 	defer fs.sched.Unpin(tray)
@@ -357,7 +385,7 @@ func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID, class sched.Class) (int, 
 		}
 		c := sim.NewCompletion[int](fs.env)
 		fs.fetches[key] = c
-		gi, err := fs.runFetch(p, tray, class)
+		gi, err = fs.runFetch(p, tray, class)
 		fs.m.batchSize.Observe(int64(1 + fs.fetchJoins[key]))
 		delete(fs.fetchJoins, key)
 		delete(fs.fetches, key)
@@ -374,7 +402,7 @@ func (fs *FS) runFetch(p *sim.Proc, tray rack.TrayID, class sched.Class) (int, e
 	fs.m.fetchTasks.Add(1)
 	sp := fs.obs.StartSpan("olfs.fetch.latency")
 	defer sp.End()
-	defer fs.env.Emit("olfs.fetch", p.Name(), tray.String())
+	defer fs.env.Emit(sim.KindFetch, p.Name(), tray.String())
 	g := fs.sched.AcquireFetch(p, class, tray)
 	gi := g.Group
 	if g.Hit {

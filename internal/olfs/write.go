@@ -220,7 +220,11 @@ func (fw *fileWriter) Close(p *sim.Proc) error {
 }
 
 // WriteFile is the whole-file convenience wrapper.
-func (fs *FS) WriteFile(p *sim.Proc, path string, data []byte) error {
+func (fs *FS) WriteFile(p *sim.Proc, path string, data []byte) (err error) {
+	op := fs.tracer.StartOp(p, "olfs.write", "interactive")
+	op.Annotate("path", path)
+	op.Annotate("bytes", fmt.Sprintf("%d", len(data)))
+	defer func() { op.Finish(p, err) }()
 	fw, err := fs.CreateFile(p, path)
 	if err != nil {
 		return err

@@ -264,8 +264,11 @@ func (dr *Drive) ArmEject() (*Disc, error) {
 // warmUp charges the lazy spin-up for arm-loaded discs.
 func (dr *Drive) warmUp(p *sim.Proc) {
 	if dr.cold {
+		sp := obs.StartChild(p, "optical.spinup")
+		sp.Annotate("drive", dr.ID)
 		p.Sleep(SpinUpTime)
 		dr.cold = false
+		sp.End(p)
 	}
 }
 
@@ -362,10 +365,19 @@ type BurnOptions struct {
 // Burn records an image onto the loaded disc in write-all-once mode: the
 // payload is streamed from src and the remainder of LogicalBytes (sparse
 // zeros) advances the watermark. Returns a report with the speed curve.
-func (dr *Drive) Burn(p *sim.Proc, src BurnSource, opts BurnOptions) (BurnReport, error) {
+func (dr *Drive) Burn(p *sim.Proc, src BurnSource, opts BurnOptions) (rep BurnReport, err error) {
 	dr.busy.Acquire(p)
 	defer dr.busy.Release()
-	var rep BurnReport
+	sp := obs.StartChild(p, "optical.burn")
+	sp.Annotate("drive", dr.ID)
+	defer func() {
+		sp.Annotate("logical", fmt.Sprintf("%d", rep.LogicalBytes))
+		sp.Annotate("payload", fmt.Sprintf("%d", rep.PayloadBytes))
+		if rep.Interrupted {
+			sp.Annotate("interrupted", "true")
+		}
+		sp.Fail(p, err)
+	}()
 	if dr.disc == nil {
 		return rep, fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
 	}
@@ -495,6 +507,9 @@ func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 	prev := dr.state
 	dr.state = StateReading
 	defer func() { dr.state = prev }()
+	sp := obs.StartChild(p, "optical.read")
+	sp.Annotate("drive", dr.ID)
+	sp.Annotate("bytes", fmt.Sprintf("%d", len(buf)))
 	t := time.Duration(0)
 	if off != dr.head {
 		dist := off - dr.head
@@ -516,6 +531,7 @@ func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 	dr.BytesRead += int64(len(buf))
 	dr.m.bytesRead.Add(int64(len(buf)))
 	dr.m.readLatency.Observe(int64(t))
+	sp.End(p)
 	return dr.disc.readAt(buf, off)
 }
 

@@ -297,15 +297,24 @@ func (lib *Library) TotalDiscs() int {
 // observed so errors don't skew the travel distribution.
 func (lib *Library) exec(p *sim.Proc, ctl *plc.Controller, cmd plc.Command) error {
 	var sp *obs.Span
+	var tsp *obs.TraceSpan
 	if cmd.Op == plc.OpArm || cmd.Op == plc.OpArmTop {
 		sp = lib.obs.StartSpan("rack.arm.move.latency")
+		tsp = obs.StartChild(p, "rack.arm_move")
+		if cmd.Op == plc.OpArm && len(cmd.Args) > 0 {
+			tsp.Annotate("layer", fmt.Sprintf("%d", cmd.Args[0]))
+		} else if cmd.Op == plc.OpArmTop {
+			tsp.Annotate("layer", "top")
+		}
 	}
 	_, err := ctl.Exec(p, cmd)
 	if err != nil {
 		sp.Cancel()
+		tsp.Fail(p, err)
 		return err
 	}
 	sp.End()
+	tsp.End(p)
 	return nil
 }
 
@@ -327,13 +336,18 @@ func (lib *Library) LoadArray(p *sim.Proc, id TrayID, gi int) (err error) {
 	r := lib.Rollers[id.Roller]
 	start := p.Now()
 	sp := lib.obs.StartSpan("rack.load.latency")
+	tsp := obs.StartChild(p, "rack.tray_load")
+	tsp.Annotate("tray", id.String())
+	tsp.Annotate("group", fmt.Sprintf("%d", gi))
 	defer func() {
 		if err != nil {
 			sp.Cancel() // failed composites don't pollute the latency distribution
+			tsp.Fail(p, err)
 			return
 		}
 		sp.End()
-		lib.env.Emit("rack.load", p.Name(), id.String())
+		tsp.End(p)
+		lib.env.Emit(sim.KindRackLoad, p.Name(), id.String())
 	}()
 
 	g.busy.Acquire(p)
@@ -420,13 +434,18 @@ func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) (err error) {
 	r := lib.Rollers[dest.Roller]
 	start := p.Now()
 	sp := lib.obs.StartSpan("rack.unload.latency")
+	tsp := obs.StartChild(p, "rack.tray_unload")
+	tsp.Annotate("tray", dest.String())
+	tsp.Annotate("group", fmt.Sprintf("%d", gi))
 	defer func() {
 		if err != nil {
 			sp.Cancel()
+			tsp.Fail(p, err)
 			return
 		}
 		sp.End()
-		lib.env.Emit("rack.unload", p.Name(), dest.String())
+		tsp.End(p)
+		lib.env.Emit(sim.KindRackUnload, p.Name(), dest.String())
 	}()
 	r.mech.Acquire(p)
 	defer r.mech.Release()

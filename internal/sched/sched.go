@@ -249,6 +249,11 @@ func (s *Scheduler) AcquireBurn(p *sim.Proc, tray rack.TrayID) Grant {
 }
 
 func (s *Scheduler) acquire(p *sim.Proc, r *request) Grant {
+	sp := obs.StartChild(p, "sched.wait")
+	sp.Annotate("class", r.class.String())
+	if r.tray != nil {
+		sp.Annotate("tray", trayKey(*r.tray))
+	}
 	s.seq++
 	r.seq = s.seq
 	r.enq = s.env.Now()
@@ -261,6 +266,14 @@ func (s *Scheduler) acquire(p *sim.Proc, r *request) Grant {
 	s.depthBy[r.class].Add(1)
 	s.dispatch()
 	g, _ := r.c.Wait(p)
+	sp.Annotate("group", fmt.Sprintf("%d", g.Group))
+	if g.Hit {
+		sp.Annotate("hit", "true")
+	}
+	if g.Evict {
+		sp.Annotate("evict", "true")
+	}
+	sp.End(p)
 	return g
 }
 

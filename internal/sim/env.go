@@ -38,16 +38,34 @@ type Env struct {
 	sinks  []func(TraceEvent)
 }
 
-// TraceEvent is one structured simulation event: Logf lines (Kind "log") and
+// TraceEvent is one structured simulation event: Logf lines (KindLog) and
 // subsystem events published with Emit. Sinks receive events in emission
 // order at the emitting process's virtual time, so event streams are as
 // deterministic as the simulation itself.
 type TraceEvent struct {
 	T    time.Duration // virtual time of the event
 	Proc string        // emitting process name ("" for non-process emitters)
-	Kind string        // event kind, dot-separated (e.g. "olfs.burn.interrupt")
+	Kind string        // event kind, dot-separated (e.g. KindBurnInterrupt)
 	Msg  string        // free-form detail
 }
+
+// Well-known TraceEvent kinds: the central catalogue of every event the
+// engine and the ROS subsystems publish through Emit, so sinks can match on
+// constants instead of stringly-typed literals.
+const (
+	// KindLog is emitted by Proc.Logf for every trace line.
+	KindLog = "log"
+	// KindRackLoad / KindRackUnload mark completed array load/unload
+	// composites (internal/rack).
+	KindRackLoad   = "rack.load"
+	KindRackUnload = "rack.unload"
+	// KindBurnFinish / KindBurnInterrupt / KindBurnFail mark burn-task
+	// outcomes; KindFetch marks a completed mechanical fetch (internal/olfs).
+	KindBurnFinish    = "olfs.burn.finish"
+	KindBurnInterrupt = "olfs.burn.interrupt"
+	KindBurnFail      = "olfs.burn.fail"
+	KindFetch         = "olfs.fetch"
+)
 
 // NewEnv returns a fresh environment with virtual time zero and a
 // deterministic random source.
@@ -234,7 +252,18 @@ type Proc struct {
 	resume   chan struct{}
 	finished bool
 	daemon   bool
+	tctx     any // request-scoped trace context (owned by internal/obs)
 }
+
+// TraceContext returns the process's request-scoped trace context (nil when
+// the process is not executing on behalf of a traced request). The engine
+// never interprets the value; internal/obs stores its current span here so
+// lower layers can attach causal child spans without plumbing an argument
+// through every call.
+func (p *Proc) TraceContext() any { return p.tctx }
+
+// SetTraceContext installs (or clears, with nil) the trace context.
+func (p *Proc) SetTraceContext(v any) { p.tctx = v }
 
 // Daemon reports whether the process was spawned with GoDaemon.
 func (p *Proc) Daemon() bool { return p.daemon }
@@ -272,7 +301,7 @@ func (p *Proc) Logf(format string, args ...interface{}) {
 	if p.env.trace != nil {
 		p.env.trace(p.env.now, p.name, msg)
 	}
-	p.env.Emit("log", p.name, msg)
+	p.env.Emit(KindLog, p.name, msg)
 }
 
 // park hands control back to the scheduler and blocks until resumed. The

@@ -28,6 +28,7 @@ package ros
 
 import (
 	"fmt"
+	"time"
 
 	"ros/internal/blockdev"
 	"ros/internal/obs"
@@ -91,6 +92,16 @@ type Options struct {
 	// DisableAutoBurn turns off automatic burning (burn explicitly with
 	// FS.FlushAndBurn). By default full image sets burn as they form.
 	DisableAutoBurn bool
+
+	// TraceCapacity bounds the causal-trace journal (0 = default 256;
+	// negative disables request tracing entirely).
+	TraceCapacity int
+	// SlowTraceThreshold marks traces at least this slow as always captured
+	// by the tail-based sampler (0 = off).
+	SlowTraceThreshold time.Duration
+	// TraceSampleEvery keeps 1 of every N fast, error-free traces (<=1
+	// keeps all). Slow and error/retry traces are always captured.
+	TraceSampleEvery int
 }
 
 // PrototypeOptions mirrors the paper's §5.1 evaluation prototype: two
@@ -175,6 +186,9 @@ func New(o Options) (*System, error) {
 		return nil, err
 	}
 	cfg.Sched.Policy = pol
+	cfg.Trace.Capacity = o.TraceCapacity
+	cfg.Trace.SlowThreshold = o.SlowTraceThreshold
+	cfg.Trace.SampleEvery = o.TraceSampleEvery
 	fs, err := olfs.New(env, cfg, lib, mvArr, buffer)
 	if err != nil {
 		return nil, err
