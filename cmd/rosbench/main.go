@@ -10,6 +10,13 @@
 //	rosbench -exp ablations      # the design-choice ablation suite
 //	rosbench -exp fig9 -exp fig10
 //	rosbench -exp table1 -json out.json   # machine-readable results
+//
+// Chaos mode runs a deterministic fault-injection campaign against a full
+// system and checks the end-to-end invariants (acked data readable, parity
+// clean, catalog consistent, no leaks):
+//
+//	rosbench -chaos -seed 7
+//	rosbench -chaos -seed 7 -faults 'optical.read:p=0.05;media.lse:once'
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"ros/internal/chaos"
 	"ros/internal/experiments"
 )
 
@@ -62,7 +70,27 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	plot := flag.Bool("plot", true, "render figure series as ASCII charts")
 	jsonOut := flag.String("json", "", "also write results as JSON to this file")
+	chaosMode := flag.Bool("chaos", false, "run a deterministic chaos campaign instead of experiments")
+	seed := flag.Int64("seed", 1, "chaos: campaign seed (drives workload and fault schedule)")
+	faults := flag.String("faults", "", "chaos: fault spec (default mix if empty, 'none' to disable)")
+	workers := flag.Int("workers", 0, "chaos: concurrent workload processes (default 3)")
+	ops := flag.Int("ops", 0, "chaos: operations per worker (default 40)")
 	flag.Parse()
+
+	if *chaosMode {
+		rep, err := chaos.Run(chaos.Config{
+			Seed: *seed, Faults: *faults, Workers: *workers, Ops: *ops,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		if rep.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		ids := make([]string, 0, len(registry))

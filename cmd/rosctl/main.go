@@ -29,6 +29,9 @@
 //	trace show <id>         one trace as a span tree + critical-path breakdown
 //	trace export --perfetto [<id>]
 //	                        Chrome/Perfetto trace_event JSON (ui.perfetto.dev)
+//	faults list             armed fault rules, fire counts, injection schedule
+//	faults arm <spec>       arm fault rules (optical.read:p=0.05;media.lse:once)
+//	faults clear            disarm all fault rules (schedule is kept)
 //	power                   current modeled power draw
 //	clock                   virtual time
 //	help / quit
@@ -46,6 +49,7 @@ import (
 	"strings"
 
 	"ros"
+	"ros/internal/faultinject"
 	"ros/internal/image"
 	"ros/internal/obs"
 	"ros/internal/optical"
@@ -107,7 +111,7 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 	fs := sys.FS
 	switch fields[0] {
 	case "help":
-		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats trace power clock quit")
+		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats trace faults power clock quit")
 	case "ingest":
 		// Direct-writing mode (§4.8): wire-speed staging, async delivery.
 		if len(fields) != 3 {
@@ -145,8 +149,8 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scrub: %d bad strips; bad discs %v; %d image(s) recovered\n",
-			len(rep.Scrub.BadStrips), rep.BadDiscs, len(rep.Recovered))
+		fmt.Printf("scrub: %d bad strips; bad discs %v; %d image(s) recovered, %d migrated\n",
+			len(rep.Scrub.BadStrips), rep.BadDiscs, len(rep.Recovered), len(rep.Migrated))
 		if rep.ReBurn != nil {
 			if _, err := rep.ReBurn.Wait(p); err != nil {
 				return fmt.Errorf("re-burn: %w", err)
@@ -306,6 +310,8 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		fmt.Print(snap)
 	case "trace":
 		return traceCommand(fs.Tracer(), fields[1:])
+	case "faults":
+		return faultsCommand(sys.Faults, fields[1:])
 	case "power":
 		burning, idleDr := 0, 0
 		for _, g := range sys.Library.Groups {
@@ -393,6 +399,53 @@ func traceCommand(tr *obs.Tracer, args []string) error {
 		fmt.Println(string(js))
 	default:
 		return fmt.Errorf("unknown trace subcommand %q (list, show, export)", args[0])
+	}
+	return nil
+}
+
+// faultsCommand implements `faults list|arm <spec>|clear` over the system's
+// deterministic fault plane. Armed rules affect every subsequent command in
+// the session, so a scripted run can arm faults, exercise the stack, and
+// inspect the injection schedule.
+func faultsCommand(pl *faultinject.Plane, args []string) error {
+	if pl == nil {
+		return fmt.Errorf("no fault plane registered")
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("usage: faults list | faults arm <spec> | faults clear")
+	}
+	switch args[0] {
+	case "list":
+		fmt.Printf("  fault plane seed %d, %d fault(s) injected\n", pl.Seed(), pl.Fires())
+		rules := pl.Rules()
+		if len(rules) == 0 {
+			fmt.Println("  no rules armed (faults arm <spec>; points: " +
+				strings.Join(faultinject.Points, " ") + ")")
+		}
+		for _, r := range rules {
+			fmt.Printf("  rule#%-3d %-40s evals=%d fires=%d\n", r.ID, r.Spec, r.Evals, r.Fires)
+		}
+		if evs := pl.Events(); len(evs) > 0 {
+			fmt.Println("  schedule:")
+			fmt.Print(pl.ScheduleString())
+		}
+	case "arm":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: faults arm <spec> (e.g. optical.read:p=0.05;media.lse:once)")
+		}
+		// Allow the spec to be split across argv words (shell-unquoted ';'
+		// never survives, but spaces around rules are natural to type).
+		ids, err := pl.ArmSpec(strings.Join(args[1:], ";"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  armed %d rule(s): ids %v\n", len(ids), ids)
+	case "clear":
+		n := len(pl.Rules())
+		pl.Clear()
+		fmt.Printf("  disarmed %d rule(s); schedule and counters kept\n", n)
+	default:
+		return fmt.Errorf("unknown faults subcommand %q (list, arm, clear)", args[0])
 	}
 	return nil
 }

@@ -290,6 +290,19 @@ func (m *Manager) Recycle(p *sim.Proc, b *Bucket) error {
 	return nil
 }
 
+// Discard frees a working bucket whose contents are regenerable (a parity
+// image under construction, a half-built recovery copy) after the operation
+// that allocated it failed. Unlike Recycle it accepts any live state; callers
+// must not discard buckets holding the only copy of user data.
+func (m *Manager) Discard(b *Bucket) error {
+	if b.state == StateFree {
+		return fmt.Errorf("%w: discard from %v", ErrBadState, b.state)
+	}
+	m.debugf("discard slot=%d id=%s state=%v", b.Slot, b.ID, b.state)
+	m.release(b)
+	return nil
+}
+
 // Adopt re-binds a probed slot to a UDF volume rediscovered on the buffer
 // after a controller crash (olfs.Reopen). The bucket becomes Open or Filled
 // depending on whether the volume was finalized.

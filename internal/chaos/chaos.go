@@ -1,0 +1,451 @@
+// Package chaos runs randomized fault-injection campaigns against a full ROS
+// system and checks end-to-end invariants afterwards.
+//
+// A campaign is deterministic: one seed drives the workload mix, the file
+// contents and the fault plane, so a failing run reproduces exactly from the
+// seed plus fault spec printed in the report. The shape is three phases:
+//
+//  1. Chaos: N concurrent workers issue a mixed write / read-verify / sync /
+//     flush-burn / scrub-repair workload while fault rules fire. Operation
+//     errors are expected and tolerated here — but a read that *succeeds*
+//     must return byte-exact data.
+//  2. Heal: the fault plane is cleared, dirty buckets are flushed and burned,
+//     and every used tray is scrubbed and repaired until a full pass comes
+//     back clean (latent sector errors and aged discs injected during the
+//     chaos phase are ground out of the system through the normal repair
+//     pipeline).
+//  3. Oracle: every acknowledged write must read back byte-for-byte, every
+//     parity group must verify clean, the catalog must be consistent (every
+//     placed image lives on a Used tray), the observability layer must have
+//     no open spans, and stopping the system must leave no live or
+//     deadlocked simulation processes.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ros"
+	"ros/internal/image"
+	"ros/internal/rack"
+	"ros/internal/sim"
+)
+
+// DefaultFaults is the campaign's default fault mix: transient read and burn
+// errors, latent sector error showers, and a few arm jams. The burn
+// probability is per burn *chunk* (a drive burn is ~500 chunks), so 5e-4
+// still fails roughly one burn in five. Whole-drive and whole-disc death are
+// left out of the default because with a small library they can exceed the
+// redundancy bound, which is a legitimate data loss, not a repair-pipeline
+// bug.
+const DefaultFaults = "optical.read:p=0.02;optical.burn:p=0.0005;media.lse:p=0.01;rack.arm.jam:every=7,count=3"
+
+// Config parameterizes a campaign. The zero value (plus a seed) runs a small
+// laptop-friendly campaign with DefaultFaults.
+type Config struct {
+	// Seed drives the workload and the fault plane (0 means 1).
+	Seed int64
+	// Faults is a faultinject spec; empty uses DefaultFaults. "none" runs a
+	// fault-free campaign (useful as a baseline).
+	Faults string
+	// Workers is the number of concurrent workload processes (default 3).
+	Workers int
+	// Ops is the number of operations per worker (default 40).
+	Ops int
+	// FileBytes caps the size of written files (default 192 KiB).
+	FileBytes int
+	// Opts overrides the system assembly; zero fields take chaos-friendly
+	// defaults (1 MB buckets, disc-backed reads after burn).
+	Opts ros.Options
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	Seed   int64
+	Faults string
+
+	Ops      map[string]int64 // attempted operations by kind
+	OpErrors map[string]int64 // tolerated operation errors by kind
+
+	Injected      int64            // fault firings
+	FaultCounters map[string]int64 // fault.* observability counters
+	Schedule      string           // the exact fault schedule (time-ordered)
+
+	HealRounds int
+	Violations []string // invariant violations; empty means the campaign passed
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Replay returns the block to print when a campaign fails: the seed and
+// fault spec reproduce the run bit-for-bit, and the schedule shows exactly
+// what was injected and when.
+func (r *Report) Replay() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay: -chaos -seed %d -faults %q\n", r.Seed, r.Faults)
+	fmt.Fprintf(&b, "injected faults (%d):\n%s", r.Injected, r.Schedule)
+	return b.String()
+}
+
+// String summarizes the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed=%d faults=%q injected=%d heal-rounds=%d\n",
+		r.Seed, r.Faults, r.Injected, r.HealRounds)
+	for _, k := range sortedKeys(r.Ops) {
+		fmt.Fprintf(&b, "  op %-8s %5d attempted, %d tolerated errors\n", k, r.Ops[k], r.OpErrors[k])
+	}
+	for _, k := range sortedKeys(r.FaultCounters) {
+		fmt.Fprintf(&b, "  %-24s %d\n", k, r.FaultCounters[k])
+	}
+	if r.Failed() {
+		fmt.Fprintf(&b, "VIOLATIONS (%d):\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+		b.WriteString(r.Replay())
+	} else {
+		b.WriteString("  all invariants held\n")
+	}
+	return b.String()
+}
+
+// ackedFile is a write the system acknowledged; the oracle holds it to the
+// durability contract.
+type ackedFile struct {
+	path string
+	data []byte
+}
+
+// Run executes one campaign and returns its report. The error is non-nil
+// only for setup problems (bad spec, assembly failure) — invariant
+// violations land in Report.Violations.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 40
+	}
+	if cfg.FileBytes <= 0 {
+		cfg.FileBytes = 192 << 10
+	}
+	spec := cfg.Faults
+	if spec == "" {
+		spec = DefaultFaults
+	}
+	if spec == "none" {
+		spec = ""
+	}
+	opts := cfg.Opts
+	if opts.BucketBytes == 0 {
+		opts.BucketBytes = 1 << 20
+	}
+	if opts.BufferSlots == 0 {
+		opts.BufferSlots = 12
+	}
+	if opts.FS.DataDiscs == 0 {
+		opts.FS.DataDiscs = 2
+		opts.FS.ParityDiscs = 1
+		// Burned buckets leave the buffer so reads exercise the optical path.
+		opts.FS.RecycleAfterBurn = true
+	}
+	opts.FaultSeed = cfg.Seed
+	opts.Faults = spec
+
+	sys, err := ros.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	sys.Env.Seed(cfg.Seed)
+
+	rep := &Report{
+		Seed:     cfg.Seed,
+		Faults:   spec,
+		Ops:           make(map[string]int64),
+		OpErrors:      make(map[string]int64),
+		FaultCounters: make(map[string]int64),
+	}
+
+	// Phase 1+2+3 run inside one simulation drain.
+	var acked [][]ackedFile
+	campaignErr := sys.Do(func(p *sim.Proc) error {
+		acked = runWorkers(sys, p, cfg, rep)
+
+		// The fault schedule is complete once the workload stops; capture it
+		// before healing (Clear keeps events, but the report should show the
+		// chaos-phase injections only).
+		rep.Injected = sys.Faults.Fires()
+		rep.Schedule = sys.Faults.ScheduleString()
+
+		heal(sys, p, rep)
+		oracle(sys, p, flatten(acked), rep)
+		return nil
+	})
+	if campaignErr != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("campaign process failed: %v", campaignErr))
+	}
+
+	// Shutdown invariant: stopping the FS and draining must leave a quiet,
+	// leak-free simulation.
+	sys.FS.Stop()
+	sys.Env.Run()
+	if sys.Env.Deadlocked() {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("simulation deadlocked after stop (%d live procs)", sys.Env.Live()))
+	} else if live := sys.Env.Live(); live != 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("process leak: %d live after stop+drain", live))
+	}
+	if open := sys.Obs.OpenSpans(); open != 0 {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("span leak: %d open spans after stop", open))
+	}
+
+	for _, c := range sys.Obs.Snapshot().Counters {
+		if strings.HasPrefix(c.Name, "fault.") {
+			rep.FaultCounters[c.Name] = c.Value
+		}
+	}
+	return rep, nil
+}
+
+// runWorkers launches the concurrent workload and joins it, returning each
+// worker's acknowledged writes.
+func runWorkers(sys *ros.System, p *sim.Proc, cfg Config, rep *Report) [][]ackedFile {
+	acked := make([][]ackedFile, cfg.Workers)
+	done := make([]*sim.Completion[int], cfg.Workers)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		wi := wi
+		done[wi] = sim.NewCompletion[int](sys.Env)
+		sys.Env.Go(fmt.Sprintf("chaos.w%d", wi), func(wp *sim.Proc) {
+			acked[wi] = worker(sys, wp, cfg, wi, rep)
+			done[wi].Resolve(wi, nil)
+		})
+	}
+	for _, c := range done {
+		c.Wait(p)
+	}
+	return acked
+}
+
+// worker runs one op stream. Each worker owns a rand stream derived from the
+// campaign seed, writes only its own namespace and verifies only its own
+// acked files, so no cross-worker coordination is needed and the op sequence
+// is a pure function of (seed, worker index).
+func worker(sys *ros.System, p *sim.Proc, cfg Config, wi int, rep *Report) []ackedFile {
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(wi)*104729 + 1))
+	var mine []ackedFile
+	seq := 0
+	for op := 0; op < cfg.Ops; op++ {
+		switch pick := rng.Intn(100); {
+		case pick < 45: // write a fresh file
+			rep.Ops["write"]++
+			path := fmt.Sprintf("/chaos/w%d/f%04d", wi, seq)
+			n := 1024 + rng.Intn(cfg.FileBytes-1023)
+			data := payload(n, cfg.Seed, wi, seq)
+			seq++
+			if err := sys.FS.WriteFile(p, path, data); err != nil {
+				rep.OpErrors["write"]++
+				continue
+			}
+			mine = append(mine, ackedFile{path: path, data: data})
+		case pick < 75: // read back a random acked file and verify
+			rep.Ops["read"]++
+			if len(mine) == 0 {
+				continue
+			}
+			f := mine[rng.Intn(len(mine))]
+			got, err := sys.FS.ReadFile(p, f.path)
+			if err != nil {
+				rep.OpErrors["read"]++ // faults make reads fail; that is fine
+				continue
+			}
+			if !bytes.Equal(got, f.data) {
+				// A read that succeeds must never return wrong bytes, even
+				// mid-chaos: errors are acceptable, silent corruption is not.
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("mid-chaos corrupt read of %s (%d bytes)", f.path, len(got)))
+			}
+		case pick < 85: // metadata sync
+			rep.Ops["sync"]++
+			if err := sys.FS.Sync(p); err != nil {
+				rep.OpErrors["sync"]++
+			}
+		case pick < 93: // force dirty buckets out to disc
+			rep.Ops["burn"]++
+			c, err := sys.FS.FlushAndBurn(p)
+			if err != nil {
+				rep.OpErrors["burn"]++
+				continue
+			}
+			if _, err := c.Wait(p); err != nil {
+				rep.OpErrors["burn"]++
+			}
+		default: // scrub-and-repair a random used tray
+			rep.Ops["repair"]++
+			trays := usedTrays(sys.FS.Cat)
+			if len(trays) == 0 {
+				continue
+			}
+			rr, err := sys.FS.ScrubAndRepair(p, trays[rng.Intn(len(trays))])
+			if err != nil {
+				rep.OpErrors["repair"]++
+				continue
+			}
+			if rr.ReBurn != nil {
+				if _, err := rr.ReBurn.Wait(p); err != nil {
+					rep.OpErrors["repair"]++
+				}
+			}
+		}
+	}
+	return mine
+}
+
+// maxHealRounds bounds the heal phase; with faults cleared each round only
+// has to chase damage left over from the previous one, so convergence is
+// fast — failing to converge is itself a violation.
+const maxHealRounds = 6
+
+// heal clears the fault plane, flushes everything to disc, and scrubs and
+// repairs used trays until a full pass finds no damage.
+func heal(sys *ros.System, p *sim.Proc, rep *Report) {
+	sys.Faults.Clear()
+	if c, err := sys.FS.FlushAndBurn(p); err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("heal: flush: %v", err))
+	} else if _, err := c.Wait(p); err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("heal: final burn: %v", err))
+	}
+	for round := 1; ; round++ {
+		rep.HealRounds = round
+		clean := true
+		for _, tray := range usedTrays(sys.FS.Cat) {
+			rr, err := sys.FS.ScrubAndRepair(p, tray)
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("heal: repair of %v failed: %v", tray, err))
+				return
+			}
+			if len(rr.Scrub.BadStrips) > 0 || len(rr.BadDiscs) > 0 {
+				clean = false
+			}
+			if rr.ReBurn != nil {
+				if _, err := rr.ReBurn.Wait(p); err != nil {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("heal: re-burn after repair of %v failed: %v", tray, err))
+					return
+				}
+			}
+		}
+		if clean {
+			return
+		}
+		if round >= maxHealRounds {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("heal did not converge in %d rounds", maxHealRounds))
+			return
+		}
+	}
+}
+
+// oracle checks the post-heal invariants.
+func oracle(sys *ros.System, p *sim.Proc, acked []ackedFile, rep *Report) {
+	// 1. Durability: every acknowledged write reads back byte-for-byte.
+	for _, f := range acked {
+		got, err := sys.FS.ReadFile(p, f.path)
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("acked write %s unreadable: %v", f.path, err))
+			continue
+		}
+		if !bytes.Equal(got, f.data) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("acked write %s corrupt (%d bytes, want %d)", f.path, len(got), len(f.data)))
+		}
+	}
+	// 2. Redundancy: every used tray's parity groups verify clean.
+	for _, tray := range usedTrays(sys.FS.Cat) {
+		sr, err := sys.FS.ScrubTray(p, tray)
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("post-heal scrub of %v failed: %v", tray, err))
+			continue
+		}
+		if len(sr.BadStrips) > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("post-heal scrub of %v found %d bad strips", tray, len(sr.BadStrips)))
+		}
+	}
+	// 3. Catalog consistency: every placed image lives on a Used tray.
+	dil := make([]string, 0, len(sys.FS.Cat.DIL))
+	for k := range sys.FS.Cat.DIL {
+		dil = append(dil, k)
+	}
+	sort.Strings(dil)
+	for _, k := range dil {
+		addr := sys.FS.Cat.DIL[k]
+		if st := sys.FS.Cat.DAState(addr.Tray); st != image.DAUsed {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("catalog: image %s placed on %v tray %v", k, st, addr.Tray))
+		}
+	}
+}
+
+// usedTrays returns the catalog's Used trays in deterministic order,
+// skipping trays with no placed images: a burn task reserves its tray as
+// Used before burning (§4.1), so an in-flight tray is Used but empty and
+// cannot be scrubbed yet.
+func usedTrays(cat *image.Catalog) []rack.TrayID {
+	keys := make([]string, 0, len(cat.DA))
+	for k, st := range cat.DA {
+		if st == image.DAUsed {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]rack.TrayID, 0, len(keys))
+	for _, k := range keys {
+		var id rack.TrayID
+		if _, err := fmt.Sscanf(k, "r%d/L%d/S%d", &id.Roller, &id.Layer, &id.Slot); err != nil {
+			continue
+		}
+		if len(cat.ImagesOnTray(id)) == 0 {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// payload generates the deterministic content of one file.
+func payload(n int, seed int64, wi, seq int) []byte {
+	b := make([]byte, n)
+	base := byte(seed) + byte(wi)*13 + byte(seq)*31
+	for i := range b {
+		b[i] = base + byte(i)*7
+	}
+	return b
+}
+
+func flatten(per [][]ackedFile) []ackedFile {
+	var out []ackedFile
+	for _, fs := range per {
+		out = append(out, fs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rule spec grammar (the -faults flag and rosctl faults arm accept it):
+//
+//	spec  := rule (";" rule)*
+//	rule  := point ["@" match] [":" opt ("," opt)*]
+//	opt   := "p=" float          per-evaluation probability
+//	       | "every=" int        fire every Nth eligible evaluation
+//	       | "once"              shorthand for count=1
+//	       | "count=" int        cap total fires
+//	       | "after=" int        skip first N eligible evaluations
+//	       | "from=" duration    window start (virtual time, Go syntax)
+//	       | "to=" duration      window end
+//
+// Examples:
+//
+//	optical.read:p=0.01
+//	optical.burn@g0-d03:once
+//	media.lse:p=0.005,from=10m,to=2h
+//	rack.arm.jam:every=4,count=2
+var knownPoints = func() map[string]bool {
+	m := make(map[string]bool, len(Points))
+	for _, p := range Points {
+		m[p] = true
+	}
+	return m
+}()
+
+// ParseSpec parses a ";"-separated list of rule specs.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := ParseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault spec %q", spec)
+	}
+	return rules, nil
+}
+
+// ParseRule parses a single rule spec (see the grammar above).
+func ParseRule(s string) (Rule, error) {
+	var r Rule
+	head, opts, hasOpts := strings.Cut(s, ":")
+	r.Point, r.Match, _ = strings.Cut(head, "@")
+	r.Point = strings.TrimSpace(r.Point)
+	r.Match = strings.TrimSpace(r.Match)
+	if !knownPoints[r.Point] {
+		return Rule{}, fmt.Errorf("faultinject: unknown fault point %q (known: %s)",
+			r.Point, strings.Join(sortedPoints(), " "))
+	}
+	if !hasOpts {
+		return r, nil
+	}
+	for _, opt := range strings.Split(opts, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(opt, "=")
+		var err error
+		switch key {
+		case "once":
+			if hasVal {
+				return Rule{}, fmt.Errorf("faultinject: %q takes no value", key)
+			}
+			r.Count = 1
+		case "p":
+			r.Prob, err = strconv.ParseFloat(val, 64)
+			if err == nil && (r.Prob <= 0 || r.Prob > 1) {
+				err = fmt.Errorf("probability %v out of (0,1]", r.Prob)
+			}
+		case "every":
+			r.Nth, err = parsePositive(val)
+		case "count":
+			r.Count, err = parsePositive(val)
+		case "after":
+			r.After, err = parsePositive(val)
+		case "from":
+			r.From, err = time.ParseDuration(val)
+		case "to":
+			r.To, err = time.ParseDuration(val)
+		default:
+			err = fmt.Errorf("unknown option %q", key)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("faultinject: rule %q: %v", s, err)
+		}
+	}
+	return r, nil
+}
+
+func parsePositive(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err == nil && n <= 0 {
+		err = fmt.Errorf("value %d must be positive", n)
+	}
+	return n, err
+}
+
+func sortedPoints() []string {
+	out := append([]string(nil), Points...)
+	sort.Strings(out)
+	return out
+}
+
+// Spec formats the rule back into the grammar (round-trips through ParseRule).
+func (r *Rule) Spec() string {
+	var b strings.Builder
+	b.WriteString(r.Point)
+	if r.Match != "" {
+		b.WriteString("@" + r.Match)
+	}
+	var opts []string
+	if r.Prob > 0 {
+		opts = append(opts, "p="+strconv.FormatFloat(r.Prob, 'g', -1, 64))
+	}
+	if r.Nth > 1 {
+		opts = append(opts, fmt.Sprintf("every=%d", r.Nth))
+	}
+	if r.Count == 1 {
+		opts = append(opts, "once")
+	} else if r.Count > 1 {
+		opts = append(opts, fmt.Sprintf("count=%d", r.Count))
+	}
+	if r.After > 0 {
+		opts = append(opts, fmt.Sprintf("after=%d", r.After))
+	}
+	if r.From > 0 {
+		opts = append(opts, "from="+r.From.String())
+	}
+	if r.To > 0 {
+		opts = append(opts, "to="+r.To.String())
+	}
+	if len(opts) > 0 {
+		b.WriteString(":" + strings.Join(opts, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+// Package testkit is the shared seed-replay regression harness for chaos and
+// fault-injection tests across olfs, raid and rack. It assembles the small
+// standard testbed (1 roller, 2 drive groups, 25 GB discs, 1 MB buckets,
+// 2+1 redundancy) with a fault plane pre-registered, so tests arm rules and
+// replay failing seeds instead of copy-pasting stack assembly.
+package testkit
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"ros/internal/blockdev"
+	"ros/internal/faultinject"
+	"ros/internal/obs"
+	"ros/internal/olfs"
+	"ros/internal/optical"
+	"ros/internal/pagecache"
+	"ros/internal/rack"
+	"ros/internal/raid"
+	"ros/internal/sim"
+)
+
+// Bed is one assembled test stack.
+type Bed struct {
+	Env    *sim.Env
+	Lib    *rack.Library
+	FS     *olfs.FS
+	MVDisk *blockdev.Disk    // first MV SSD, for metadata fault scenarios
+	Buffer *pagecache.Volume // the tiered write buffer / read cache
+	Plane  *faultinject.Plane
+}
+
+// Options tune the bed away from the standard small configuration.
+type Options struct {
+	// Seed seeds both the environment's workload source and the fault plane
+	// (0 keeps the engine default of 1 and a plane seed of 1).
+	Seed int64
+	// Faults is a fault-rule spec (faultinject.ParseSpec grammar) armed
+	// before the test body runs.
+	Faults string
+	// BufferBytes overrides the per-HDD buffer-disk size (default 16 MB).
+	BufferBytes int64
+	// Config mutates the olfs.Config after defaults are applied.
+	Config func(*olfs.Config)
+}
+
+// New assembles a Bed. Failures during assembly abort the test.
+func New(t *testing.T, opt Options) *Bed {
+	t.Helper()
+	env := sim.NewEnv()
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	env.Seed(seed)
+	plane := faultinject.New(env, seed)
+	lib, err := rack.New(env, rack.Config{
+		Rollers: 1, DriveGroups: 2, Media: optical.Media25, PopulateAll: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssds := []blockdev.Device{
+		blockdev.New(env, 1<<30, blockdev.SSDProfile()),
+		blockdev.New(env, 1<<30, blockdev.SSDProfile()),
+	}
+	mvArr, err := raid.New(env, raid.RAID1, ssds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDisk := opt.BufferBytes
+	if perDisk == 0 {
+		perDisk = 16 << 20
+	}
+	hdds := make([]blockdev.Device, 7)
+	for i := range hdds {
+		hdds[i] = blockdev.New(env, perDisk, blockdev.HDDProfile())
+	}
+	bufArr, err := raid.New(env, raid.RAID5, hdds, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := pagecache.New(env, bufArr, pagecache.Ext4Rates())
+	cfg := olfs.Config{
+		DataDiscs:   2,
+		ParityDiscs: 1,
+		AutoBurn:    true,
+		BucketBytes: 1 << 20,
+		BurnStagger: time.Second, // keep multi-disc tests quick in virtual time
+	}
+	if opt.Config != nil {
+		opt.Config(&cfg)
+	}
+	fs, err := olfs.New(env, cfg, lib, mvArr, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane.AttachObs(fs.Obs())
+	if opt.Faults != "" {
+		if _, err := plane.ArmSpec(opt.Faults); err != nil {
+			t.Fatalf("testkit: arming faults %q: %v", opt.Faults, err)
+		}
+	}
+	mvDisk, _ := ssds[0].(*blockdev.Disk)
+	return &Bed{Env: env, Lib: lib, FS: fs, MVDisk: mvDisk, Buffer: buf, Plane: plane}
+}
+
+// Run executes fn as a simulation process and drains the environment. A
+// deadlock fails the test with the seed and the injected fault schedule, so
+// the failure replays exactly.
+func (b *Bed) Run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	b.Env.Go("test", fn)
+	b.Env.Run()
+	if b.Env.Deadlocked() {
+		t.Fatalf("simulation deadlocked (%d live)\n%s", b.Env.Live(), b.Replay())
+	}
+}
+
+// Replay formats the bed's seed and injected fault schedule for failure
+// messages: re-running with the same seed and spec reproduces the run.
+func (b *Bed) Replay() string {
+	return "replay: seed=" + strconv.FormatInt(b.Plane.Seed(), 10) +
+		"\ninjected faults:\n" + b.Plane.ScheduleString()
+}
+
+// Pat returns the standard deterministic test pattern: byte(i)*3 + seed.
+func Pat(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*3 + seed
+	}
+	return b
+}
+
+// Counters flattens the registry snapshot's counters into a map for
+// assertions on fault.* and subsystem counters.
+func Counters(r *obs.Registry) map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range r.Snapshot().Counters {
+		out[c.Name] = c.Value
+	}
+	return out
+}

@@ -90,11 +90,15 @@ func (s DAState) String() string {
 
 // DiscAddr is a physical disc location: a tray plus the position within its
 // 12-disc array. Len records the image's meaningful payload bytes, which
-// bounds scrub and parity-recovery I/O.
+// bounds scrub and parity-recovery I/O. Parity marks the image's role in its
+// burn set: repair paths classify by this flag rather than by position
+// arithmetic, so a tray whose catalog entries are partially migrated away
+// can never have a data image mistaken for parity.
 type DiscAddr struct {
-	Tray rack.TrayID `json:"tray"`
-	Pos  int         `json:"pos"`
-	Len  int64       `json:"len,omitempty"`
+	Tray   rack.TrayID `json:"tray"`
+	Pos    int         `json:"pos"`
+	Len    int64       `json:"len,omitempty"`
+	Parity bool        `json:"parity,omitempty"`
 }
 
 func (a DiscAddr) String() string { return fmt.Sprintf("%v#%02d", a.Tray, a.Pos) }

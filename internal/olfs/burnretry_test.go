@@ -1,4 +1,4 @@
-package olfs
+package olfs_test
 
 import (
 	"bytes"
@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"ros/internal/faultinject/testkit"
 	"ros/internal/image"
+	"ros/internal/olfs"
 	"ros/internal/optical"
 	"ros/internal/rack"
 	"ros/internal/sim"
@@ -14,15 +16,15 @@ import (
 
 // writeBurnSet writes 4 x 400 KB files (two 1 MB buckets -> 2 data images +
 // 1 parity) and returns the burn completion.
-func writeBurnSet(t *testing.T, tb *testbed, p *sim.Proc) *sim.Completion[error] {
+func writeBurnSet(t *testing.T, bed *testkit.Bed, p *sim.Proc) *sim.Completion[error] {
 	t.Helper()
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("/arch/f%02d", i)
-		if err := tb.fs.WriteFile(p, name, pat(400*1024, byte(i+1))); err != nil {
+		if err := bed.FS.WriteFile(p, name, testkit.Pat(400*1024, byte(i+1))); err != nil {
 			t.Fatalf("WriteFile: %v", err)
 		}
 	}
-	c, err := tb.fs.FlushAndBurn(p)
+	c, err := bed.FS.FlushAndBurn(p)
 	if err != nil {
 		t.Fatalf("FlushAndBurn: %v", err)
 	}
@@ -30,8 +32,8 @@ func writeBurnSet(t *testing.T, tb *testbed, p *sim.Proc) *sim.Completion[error]
 }
 
 // burningGroup returns the drive group currently burning, if any.
-func burningGroup(tb *testbed) *rack.DriveGroup {
-	for _, g := range tb.lib.Groups {
+func burningGroup(bed *testkit.Bed) *rack.DriveGroup {
+	for _, g := range bed.Lib.Groups {
 		if g.AnyBurning() {
 			return g
 		}
@@ -40,9 +42,9 @@ func burningGroup(tb *testbed) *rack.DriveGroup {
 }
 
 // failedTrays counts catalog trays in the Failed state.
-func failedTrays(tb *testbed) int {
+func failedTrays(bed *testkit.Bed) int {
 	n := 0
-	for _, st := range tb.fs.Cat.DA {
+	for _, st := range bed.FS.Cat.DA {
 		if st == image.DAFailed {
 			n++
 		}
@@ -57,20 +59,20 @@ func failedTrays(tb *testbed) int {
 // was silently marked Failed, and the one-shot fresh-tray retry masked the
 // bug. Post-fix the resumed disc carries two tracks and no tray fails.
 func TestBurnResumeAfterInterrupt(t *testing.T) {
-	tb := newBed(t, func(c *Config) {
+	bed := testkit.New(t, testkit.Options{Config: func(c *olfs.Config) {
 		c.AutoBurn = false
 		c.RecycleAfterBurn = true // force the post-resume read to hit the disc
-	})
+	}})
 	var burnErr error
-	var data0 = pat(400*1024, 1)
-	tb.run(t, func(p *sim.Proc) {
-		c := writeBurnSet(t, tb, p)
+	var data0 = testkit.Pat(400*1024, 1)
+	bed.Run(t, func(p *sim.Proc) {
+		c := writeBurnSet(t, bed, p)
 
 		// Interrupt drive 0 fifty seconds into its burn; the other two discs
 		// run to completion so the resume only has position 0 left.
-		tb.env.Go("interrupter", func(ip *sim.Proc) {
+		bed.Env.Go("interrupter", func(ip *sim.Proc) {
 			for i := 0; i < 10000; i++ {
-				if g := burningGroup(tb); g != nil {
+				if g := burningGroup(bed); g != nil {
 					ip.Sleep(50 * time.Second)
 					if g.Drives[0].State() == optical.StateBurning {
 						g.Drives[0].InterruptBurn()
@@ -87,7 +89,7 @@ func TestBurnResumeAfterInterrupt(t *testing.T) {
 		}
 		// Read back the image burned onto the interrupted-then-resumed disc
 		// (position 0 holds the first bucket) through the mechanical path.
-		got, err := tb.fs.ReadFile(p, "/arch/f00")
+		got, err := bed.FS.ReadFile(p, "/arch/f00")
 		if err != nil {
 			t.Fatalf("ReadFile from resumed disc: %v", err)
 		}
@@ -96,10 +98,10 @@ func TestBurnResumeAfterInterrupt(t *testing.T) {
 		}
 	})
 
-	if tb.fs.InterruptedBs != 1 || tb.fs.BurnResumes != 1 {
-		t.Errorf("interrupted=%d resumes=%d, want 1/1", tb.fs.InterruptedBs, tb.fs.BurnResumes)
+	if bed.FS.InterruptedBs != 1 || bed.FS.BurnResumes != 1 {
+		t.Errorf("interrupted=%d resumes=%d, want 1/1", bed.FS.InterruptedBs, bed.FS.BurnResumes)
 	}
-	if n := failedTrays(tb); n != 0 {
+	if n := failedTrays(bed); n != 0 {
 		t.Errorf("failed trays = %d, want 0 (resume must not hard-fail)", n)
 	}
 	// The resumed disc must hold two tracks: the interrupted one plus the
@@ -107,14 +109,14 @@ func TestBurnResumeAfterInterrupt(t *testing.T) {
 	twoTrack := 0
 	for l := 0; l < rack.LayersPerRoller; l++ {
 		for s := 0; s < rack.SlotsPerLayer; s++ {
-			for _, d := range tb.lib.Rollers[0].Tray(l, s).Discs {
+			for _, d := range bed.Lib.Rollers[0].Tray(l, s).Discs {
 				if len(d.Tracks()) == 2 {
 					twoTrack++
 				}
 			}
 		}
 	}
-	for _, g := range tb.lib.Groups {
+	for _, g := range bed.Lib.Groups {
 		for _, d := range g.Drives {
 			if d.Disc() != nil && len(d.Disc().Tracks()) == 2 {
 				twoTrack++
@@ -125,7 +127,7 @@ func TestBurnResumeAfterInterrupt(t *testing.T) {
 		t.Errorf("two-track discs = %d, want exactly 1 (the resumed disc)", twoTrack)
 	}
 	// Span open/close balance across the interrupt/requeue cycle.
-	if open := tb.fs.Obs().OpenSpans(); open != 0 {
+	if open := bed.FS.Obs().OpenSpans(); open != 0 {
 		t.Errorf("open spans = %d, want 0", open)
 	}
 }
@@ -135,14 +137,14 @@ func TestBurnResumeAfterInterrupt(t *testing.T) {
 // finds it occupied) must still count the interrupt, must not leak resume
 // bookkeeping into the fresh-tray retry, and the retry must succeed.
 func TestBurnInterruptThenHardFailure(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
 	var burnErr error
-	tb.run(t, func(p *sim.Proc) {
-		c := writeBurnSet(t, tb, p)
+	bed.Run(t, func(p *sim.Proc) {
+		c := writeBurnSet(t, bed, p)
 
-		tb.env.Go("saboteur", func(ip *sim.Proc) {
+		bed.Env.Go("saboteur", func(ip *sim.Proc) {
 			for i := 0; i < 10000; i++ {
-				g := burningGroup(tb)
+				g := burningGroup(bed)
 				if g == nil {
 					ip.Sleep(time.Second)
 					continue
@@ -159,7 +161,7 @@ func TestBurnInterruptThenHardFailure(t *testing.T) {
 				}
 				// Occupy the source tray so the unload hard-fails, then
 				// interrupt every burning drive in the same run.
-				tr, err := tb.lib.Tray(*g.Source)
+				tr, err := bed.Lib.Tray(*g.Source)
 				if err != nil {
 					t.Errorf("source tray: %v", err)
 					return
@@ -181,17 +183,17 @@ func TestBurnInterruptThenHardFailure(t *testing.T) {
 	}
 	// Pre-fix the interrupted+failed run counted neither interrupt nor
 	// resume; the interrupt really happened and must show up.
-	if tb.fs.InterruptedBs != 1 {
-		t.Errorf("InterruptedBs = %d, want 1 (interrupt-then-fail must count)", tb.fs.InterruptedBs)
+	if bed.FS.InterruptedBs != 1 {
+		t.Errorf("InterruptedBs = %d, want 1 (interrupt-then-fail must count)", bed.FS.InterruptedBs)
 	}
 	// No resume ever ran: the retry restarted from scratch on a new tray.
-	if tb.fs.BurnResumes != 0 {
-		t.Errorf("BurnResumes = %d, want 0 (fresh-tray retry is not a resume)", tb.fs.BurnResumes)
+	if bed.FS.BurnResumes != 0 {
+		t.Errorf("BurnResumes = %d, want 0 (fresh-tray retry is not a resume)", bed.FS.BurnResumes)
 	}
-	if n := failedTrays(tb); n != 1 {
+	if n := failedTrays(bed); n != 1 {
 		t.Errorf("failed trays = %d, want 1 (the sabotaged one)", n)
 	}
-	if open := tb.fs.Obs().OpenSpans(); open != 0 {
+	if open := bed.FS.Obs().OpenSpans(); open != 0 {
 		t.Errorf("open spans = %d, want 0", open)
 	}
 }
@@ -201,15 +203,15 @@ func TestBurnInterruptThenHardFailure(t *testing.T) {
 // t.resumed flag used to survive the hard-failure reset, so run 3 was
 // miscounted as another resume; post-fix BurnResumes stays exactly 1.
 func TestBurnResumeRunHardFailure(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
 	var burnErr error
-	tb.run(t, func(p *sim.Proc) {
-		c := writeBurnSet(t, tb, p)
+	bed.Run(t, func(p *sim.Proc) {
+		c := writeBurnSet(t, bed, p)
 
 		// Phase 1: interrupt drive 0 mid-burn.
-		tb.env.Go("interrupter", func(ip *sim.Proc) {
+		bed.Env.Go("interrupter", func(ip *sim.Proc) {
 			for i := 0; i < 10000; i++ {
-				if g := burningGroup(tb); g != nil {
+				if g := burningGroup(bed); g != nil {
 					ip.Sleep(50 * time.Second)
 					if g.Drives[0].State() == optical.StateBurning {
 						g.Drives[0].InterruptBurn()
@@ -221,11 +223,11 @@ func TestBurnResumeRunHardFailure(t *testing.T) {
 		})
 		// Phase 2: once the resume run is burning, occupy its source tray so
 		// the resume's unload hard-fails.
-		tb.env.Go("saboteur", func(ip *sim.Proc) {
+		bed.Env.Go("saboteur", func(ip *sim.Proc) {
 			for i := 0; i < 20000; i++ {
-				g := burningGroup(tb)
-				if tb.fs.BurnResumes >= 1 && g != nil {
-					tr, err := tb.lib.Tray(*g.Source)
+				g := burningGroup(bed)
+				if bed.FS.BurnResumes >= 1 && g != nil {
+					tr, err := bed.Lib.Tray(*g.Source)
 					if err != nil {
 						t.Errorf("source tray: %v", err)
 						return
@@ -242,13 +244,13 @@ func TestBurnResumeRunHardFailure(t *testing.T) {
 	if burnErr != nil {
 		t.Fatalf("retry after failed resume should have succeeded: %v", burnErr)
 	}
-	if tb.fs.InterruptedBs != 1 {
-		t.Errorf("InterruptedBs = %d, want 1", tb.fs.InterruptedBs)
+	if bed.FS.InterruptedBs != 1 {
+		t.Errorf("InterruptedBs = %d, want 1", bed.FS.InterruptedBs)
 	}
-	if tb.fs.BurnResumes != 1 {
-		t.Errorf("BurnResumes = %d, want 1 (stale resumed flag must not leak into the retry)", tb.fs.BurnResumes)
+	if bed.FS.BurnResumes != 1 {
+		t.Errorf("BurnResumes = %d, want 1 (stale resumed flag must not leak into the retry)", bed.FS.BurnResumes)
 	}
-	if n := failedTrays(tb); n != 1 {
+	if n := failedTrays(bed); n != 1 {
 		t.Errorf("failed trays = %d, want 1", n)
 	}
 	// The resume itself completed before the unload failed: the append-mode
@@ -256,7 +258,7 @@ func TestBurnResumeRunHardFailure(t *testing.T) {
 	// drives (post-fix; pre-fix the resume burn died instantly with
 	// ErrDiscFull and the disc kept a single partial track).
 	twoTrack := 0
-	for _, g := range tb.lib.Groups {
+	for _, g := range bed.Lib.Groups {
 		for _, d := range g.Drives {
 			if d.Disc() != nil && len(d.Disc().Tracks()) == 2 {
 				twoTrack++
@@ -266,7 +268,7 @@ func TestBurnResumeRunHardFailure(t *testing.T) {
 	if twoTrack != 1 {
 		t.Errorf("two-track drive-resident discs = %d, want 1", twoTrack)
 	}
-	if open := tb.fs.Obs().OpenSpans(); open != 0 {
+	if open := bed.FS.Obs().OpenSpans(); open != 0 {
 		t.Errorf("open spans = %d, want 0", open)
 	}
 }

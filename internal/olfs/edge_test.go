@@ -1,4 +1,4 @@
-package olfs
+package olfs_test
 
 import (
 	"bytes"
@@ -7,50 +7,39 @@ import (
 	"testing"
 	"time"
 
-	"ros/internal/blockdev"
+	"ros/internal/faultinject/testkit"
 	"ros/internal/mv"
-	"ros/internal/optical"
-	"ros/internal/rack"
+	"ros/internal/olfs"
 	"ros/internal/sim"
 	"ros/internal/vfs"
 )
 
-// rackNewSmall builds a 1-roller, 2-group, 25 GB library.
-func rackNewSmall(env *sim.Env) (*rack.Library, error) {
-	return rack.New(env, rack.Config{
-		Rollers: 1, DriveGroups: 2, Media: optical.Media25, PopulateAll: true,
-	})
-}
-
-// blockdevNew builds an SSD-profile disk.
-func blockdevNew(env *sim.Env, size int64) *blockdev.Disk {
-	return blockdev.New(env, size, blockdev.SSDProfile())
-}
+func noAutoBurn(c *olfs.Config) { c.AutoBurn = false }
 
 func TestEmptyFileSemantics(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
-		if err := tb.fs.WriteFile(p, "/e/empty", nil); err != nil {
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
+		if err := bed.FS.WriteFile(p, "/e/empty", nil); err != nil {
 			t.Fatalf("write empty: %v", err)
 		}
-		got, err := tb.fs.ReadFile(p, "/e/empty")
+		got, err := bed.FS.ReadFile(p, "/e/empty")
 		if err != nil || len(got) != 0 {
 			t.Errorf("read empty: %d bytes, %v", len(got), err)
 		}
-		fi, err := tb.fs.Stat(p, "/e/empty")
+		fi, err := bed.FS.Stat(p, "/e/empty")
 		if err != nil || fi.Size != 0 || fi.Version != 1 {
 			t.Errorf("stat empty: %+v, %v", fi, err)
 		}
-		if _, err := tb.fs.ReadFirstByte(p, "/e/empty"); err == nil {
+		if _, err := bed.FS.ReadFirstByte(p, "/e/empty"); err == nil {
 			t.Error("first byte of empty file succeeded")
 		}
 	})
 }
 
 func TestWriteToClosedHandle(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
-		fw, err := tb.fs.CreateFile(p, "/h/f")
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
+		fw, err := bed.FS.CreateFile(p, "/h/f")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,40 +59,40 @@ func TestWriteToClosedHandle(t *testing.T) {
 }
 
 func TestOpenVersionErrors(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
-		if err := tb.fs.WriteFile(p, "/v/f", []byte("only")); err != nil {
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
+		if err := bed.FS.WriteFile(p, "/v/f", []byte("only")); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := tb.fs.OpenFileVersion(p, "/v/f", 9); err == nil {
+		if _, err := bed.FS.OpenFileVersion(p, "/v/f", 9); err == nil {
 			t.Error("nonexistent version opened")
 		}
-		if _, err := tb.fs.OpenFileVersion(p, "/v/none", 1); err == nil {
+		if _, err := bed.FS.OpenFileVersion(p, "/v/none", 1); err == nil {
 			t.Error("nonexistent file version opened")
 		}
 	})
 }
 
 func TestDirectoryErrors(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
-		if err := tb.fs.Mkdir(p, "/d"); err != nil {
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
+		if err := bed.FS.Mkdir(p, "/d"); err != nil {
 			t.Fatal(err)
 		}
-		if err := tb.fs.Mkdir(p, "/d"); !errors.Is(err, vfs.ErrExist) {
+		if err := bed.FS.Mkdir(p, "/d"); !errors.Is(err, vfs.ErrExist) {
 			t.Errorf("duplicate mkdir: %v", err)
 		}
-		if _, err := tb.fs.OpenFile(p, "/d"); err == nil {
+		if _, err := bed.FS.OpenFile(p, "/d"); err == nil {
 			t.Error("opened a directory for read")
 		}
-		if _, err := tb.fs.CreateFile(p, "/d"); err == nil {
+		if _, err := bed.FS.CreateFile(p, "/d"); err == nil {
 			t.Error("created a file over a directory")
 		}
-		if _, err := tb.fs.ReadDir(p, "/d/none"); !errors.Is(err, vfs.ErrNotFound) {
+		if _, err := bed.FS.ReadDir(p, "/d/none"); !errors.Is(err, vfs.ErrNotFound) {
 			t.Errorf("readdir missing: %v", err)
 		}
 		// Root listing includes /d.
-		des, err := tb.fs.ReadDir(p, "/")
+		des, err := bed.FS.ReadDir(p, "/")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,22 +109,22 @@ func TestDirectoryErrors(t *testing.T) {
 }
 
 func TestPartMissingAfterCatalogLoss(t *testing.T) {
-	tb := newBed(t, func(c *Config) {
+	bed := testkit.New(t, testkit.Options{Config: func(c *olfs.Config) {
 		c.AutoBurn = false
 		c.RecycleAfterBurn = true
-	})
-	tb.run(t, func(p *sim.Proc) {
-		if err := tb.fs.WriteFile(p, "/pm/f", pat(100*1024, 1)); err != nil {
+	}})
+	bed.Run(t, func(p *sim.Proc) {
+		if err := bed.FS.WriteFile(p, "/pm/f", testkit.Pat(100*1024, 1)); err != nil {
 			t.Fatal(err)
 		}
-		c, _ := tb.fs.FlushAndBurn(p)
+		c, _ := bed.FS.FlushAndBurn(p)
 		if _, err := c.Wait(p); err != nil {
 			t.Fatal(err)
 		}
 		// Forget where the image lives: reads must fail cleanly.
-		ix, _ := tb.fs.MV.Lookup("/pm/f")
-		tb.fs.Cat.Forget(ix.Current().Parts[0])
-		if _, err := tb.fs.ReadFile(p, "/pm/f"); !errors.Is(err, ErrPartMissing) {
+		ix, _ := bed.FS.MV.Lookup("/pm/f")
+		bed.FS.Cat.Forget(ix.Current().Parts[0])
+		if _, err := bed.FS.ReadFile(p, "/pm/f"); !errors.Is(err, olfs.ErrPartMissing) {
 			t.Errorf("read with lost catalog entry: %v", err)
 		}
 	})
@@ -144,27 +133,17 @@ func TestPartMissingAfterCatalogLoss(t *testing.T) {
 func TestBufferExhaustion(t *testing.T) {
 	// A buffer with very few slots: filling them all with unburned images
 	// must produce a clean "buffer full" error rather than corruption or a
-	// deadlock.
-	env := sim.NewEnv()
-	lib, err := rackNewSmall(env)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mvStore := blockdevNew(env, 1<<30)
-	bufStore := blockdevNew(env, 4<<20) // exactly 4 slots of 1 MB
-	fs, err := New(env, Config{
-		DataDiscs: 2, ParityDiscs: 1, AutoBurn: false,
-		BucketBytes: 1 << 20, BurnStagger: time.Second,
-	}, lib, mvStore, bufStore)
-	if err != nil {
-		t.Fatal(err)
-	}
-	env.Go("t", func(p *sim.Proc) {
+	// deadlock. 768 KB per RAID-5 disk = 4.5 MB usable = 4 slots of 1 MB.
+	bed := testkit.New(t, testkit.Options{
+		BufferBytes: 768 << 10,
+		Config:      noAutoBurn,
+	})
+	bed.Run(t, func(p *sim.Proc) {
 		var werr error
 		for i := 0; i < 10 && werr == nil; i++ {
-			werr = fs.WriteFile(p, fmt.Sprintf("/x/f%d", i), pat(900*1024, byte(i)))
+			werr = bed.FS.WriteFile(p, fmt.Sprintf("/x/f%d", i), testkit.Pat(900*1024, byte(i)))
 			if werr == nil {
-				werr = fs.Sync(p)
+				werr = bed.FS.Sync(p)
 			}
 		}
 		if werr == nil {
@@ -175,80 +154,76 @@ func TestBufferExhaustion(t *testing.T) {
 			t.Errorf("exhaustion error: %v", werr)
 		}
 	})
-	env.Run()
-	if env.Deadlocked() {
-		t.Fatal("deadlocked")
-	}
 }
 
 func TestUnlinkDirectoryRules(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
-		if err := tb.fs.WriteFile(p, "/ud/a/f", []byte("x")); err != nil {
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
+		if err := bed.FS.WriteFile(p, "/ud/a/f", []byte("x")); err != nil {
 			t.Fatal(err)
 		}
-		if err := tb.fs.Unlink(p, "/ud/a"); err == nil {
+		if err := bed.FS.Unlink(p, "/ud/a"); err == nil {
 			t.Error("unlinked non-empty directory")
 		}
-		if err := tb.fs.Unlink(p, "/ud/a/f"); err != nil {
+		if err := bed.FS.Unlink(p, "/ud/a/f"); err != nil {
 			t.Fatal(err)
 		}
-		if err := tb.fs.Unlink(p, "/ud/a"); err != nil {
+		if err := bed.FS.Unlink(p, "/ud/a"); err != nil {
 			t.Errorf("unlink empty dir: %v", err)
 		}
-		if err := tb.fs.Unlink(p, "/ud/a"); !errors.Is(err, vfs.ErrNotFound) {
+		if err := bed.FS.Unlink(p, "/ud/a"); !errors.Is(err, vfs.ErrNotFound) {
 			t.Errorf("double unlink: %v", err)
 		}
 	})
 }
 
 func TestVersionRingWrapUnderOLFS(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
 		for i := 1; i <= mv.MaxVersionEntries+5; i++ {
-			if err := tb.fs.WriteFile(p, "/wrap/f", pat(100, byte(i))); err != nil {
+			if err := bed.FS.WriteFile(p, "/wrap/f", testkit.Pat(100, byte(i))); err != nil {
 				t.Fatalf("v%d: %v", i, err)
 			}
 		}
-		fi, _ := tb.fs.Stat(p, "/wrap/f")
+		fi, _ := bed.FS.Stat(p, "/wrap/f")
 		if fi.Version != mv.MaxVersionEntries+5 {
 			t.Errorf("version = %d", fi.Version)
 		}
 		// The oldest retained version is still readable; pre-wrap ones gone.
 		oldest := mv.MaxVersionEntries + 5 - mv.MaxVersionEntries + 1
-		if _, err := tb.fs.OpenFileVersion(p, "/wrap/f", oldest); err != nil {
+		if _, err := bed.FS.OpenFileVersion(p, "/wrap/f", oldest); err != nil {
 			t.Errorf("oldest retained v%d: %v", oldest, err)
 		}
-		if _, err := tb.fs.OpenFileVersion(p, "/wrap/f", oldest-1); err == nil {
+		if _, err := bed.FS.OpenFileVersion(p, "/wrap/f", oldest-1); err == nil {
 			t.Errorf("pre-wrap v%d still open-able", oldest-1)
 		}
 	})
 }
 
 func TestStopWithPendingMoverRejectsIngest(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
-		if err := tb.fs.DirectIngest(p, "/s/f", pat(1024, 1)); err != nil {
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
+		if err := bed.FS.DirectIngest(p, "/s/f", testkit.Pat(1024, 1)); err != nil {
 			t.Fatal(err)
 		}
-		if err := tb.fs.DirectDrain(p); err != nil {
+		if err := bed.FS.DirectDrain(p); err != nil {
 			t.Fatal(err)
 		}
-		tb.fs.Stop()
-		if err := tb.fs.DirectIngest(p, "/s/g", pat(10, 2)); !errors.Is(err, ErrStopped) {
+		bed.FS.Stop()
+		if err := bed.FS.DirectIngest(p, "/s/g", testkit.Pat(10, 2)); !errors.Is(err, olfs.ErrStopped) {
 			t.Errorf("ingest after stop: %v", err)
 		}
 	})
 }
 
 func TestTraceCapturesDurations(t *testing.T) {
-	tb := newBed(t, func(c *Config) { c.AutoBurn = false })
-	tb.run(t, func(p *sim.Proc) {
-		tb.fs.StartTrace()
-		if err := tb.fs.WriteFile(p, "/tr/f", pat(1024, 1)); err != nil {
+	bed := testkit.New(t, testkit.Options{Config: noAutoBurn})
+	bed.Run(t, func(p *sim.Proc) {
+		bed.FS.StartTrace()
+		if err := bed.FS.WriteFile(p, "/tr/f", testkit.Pat(1024, 1)); err != nil {
 			t.Fatal(err)
 		}
-		trace := tb.fs.StopTrace()
+		trace := bed.FS.StopTrace()
 		if len(trace) == 0 {
 			t.Fatal("no trace entries")
 		}
@@ -263,10 +238,10 @@ func TestTraceCapturesDurations(t *testing.T) {
 			t.Error("trace durations sum to zero")
 		}
 		// Trace stops recording after StopTrace.
-		if err := tb.fs.WriteFile(p, "/tr/g", pat(10, 2)); err != nil {
+		if err := bed.FS.WriteFile(p, "/tr/g", testkit.Pat(10, 2)); err != nil {
 			t.Fatal(err)
 		}
-		if got := tb.fs.StopTrace(); len(got) != 0 {
+		if got := bed.FS.StopTrace(); len(got) != 0 {
 			t.Errorf("trace continued after stop: %d entries", len(got))
 		}
 	})

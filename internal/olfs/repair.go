@@ -2,8 +2,10 @@ package olfs
 
 import (
 	"fmt"
+	"sort"
 
 	"ros/internal/bucket"
+	"ros/internal/faultinject"
 	"ros/internal/image"
 	"ros/internal/obs"
 	"ros/internal/optical"
@@ -21,6 +23,25 @@ type ScrubReport struct {
 	Checked    int64   // bytes verified per disc
 	BadStrips  []int64 // strip offsets failing parity/readback
 	DiscErrors int     // discs with injected sector errors encountered
+}
+
+// trayLayout classifies a tray's cataloged images by role. Parity is burned
+// immediately after the data images, so the first parity position is also
+// the physical data width of the set — even when data entries have since
+// been migrated away (WORM discs keep their bits, so the physical layout is
+// fixed at burn time). Catalogs rebuilt by namespace recovery carry no
+// parity entries; those fall back to the contiguous-layout arithmetic.
+func (fs *FS) trayLayout(onTray map[int]image.ID) (dataN int, parityPos []int) {
+	for pos, id := range onTray {
+		if a, ok := fs.Cat.Locate(id); ok && a.Parity {
+			parityPos = append(parityPos, pos)
+		}
+	}
+	sort.Ints(parityPos)
+	if len(parityPos) > 0 {
+		return parityPos[0], parityPos
+	}
+	return len(onTray) - fs.cfg.ParityDiscs, nil
 }
 
 // trayBackends fetches the tray and returns the per-position image views and
@@ -63,16 +84,29 @@ func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (rep ScrubReport, err err
 		return rep, err
 	}
 	k := fs.cfg.DataDiscs
-	nImgs := len(onTray)
-	dataN := nImgs - fs.cfg.ParityDiscs
+	dataN, parityPos := fs.trayLayout(onTray)
 	if dataN < 1 || dataN > k {
 		return rep, fmt.Errorf("olfs: tray %v holds %d images, inconsistent with %d+%d layout",
-			tray, nImgs, k, fs.cfg.ParityDiscs)
+			tray, len(onTray), k, fs.cfg.ParityDiscs)
 	}
+	// Verify over the physical set layout: the data strip views span the full
+	// burn-time data width regardless of which entries the catalog still
+	// tracks (parity was computed over those very bits).
 	data := backends[:dataN]
-	parity := backends[dataN : dataN+fs.cfg.ParityDiscs]
+	var parity []image.Backend
+	if len(parityPos) > 0 {
+		for _, pos := range parityPos {
+			parity = append(parity, backends[pos])
+		}
+	} else {
+		parity = backends[dataN : dataN+fs.cfg.ParityDiscs]
+	}
 	vsp := obs.StartChild(p, "optical.verify")
 	vsp.Annotate("bytes", fmt.Sprintf("%d", length))
+	if ferr := faultinject.Check(p, faultinject.PointOpticalVerify, tray.String()); ferr != nil {
+		vsp.Fail(p, ferr)
+		return rep, ferr
+	}
 	bad, err := image.VerifyParity(p, data, parity, length)
 	if err != nil {
 		vsp.Fail(p, err)
@@ -103,8 +137,8 @@ func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err err
 	if err != nil {
 		return nil, err
 	}
-	dataN := len(onTray) - fs.cfg.ParityDiscs
-	if addr.Pos >= dataN {
+	dataN, parityPos := fs.trayLayout(onTray)
+	if addr.Parity || addr.Pos >= dataN {
 		return nil, fmt.Errorf("olfs: %s is a parity image; regenerate instead", id)
 	}
 	data := make([]image.Backend, dataN)
@@ -113,7 +147,14 @@ func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err err
 			data[i] = backends[i]
 		}
 	}
-	parity := backends[dataN : dataN+fs.cfg.ParityDiscs]
+	var parity []image.Backend
+	if len(parityPos) > 0 {
+		for _, pos := range parityPos {
+			parity = append(parity, backends[pos])
+		}
+	} else {
+		parity = backends[dataN : dataN+fs.cfg.ParityDiscs]
+	}
 	nb, err = fs.Buckets.OpenRaw(p, length)
 	if err != nil {
 		return nil, err
@@ -121,15 +162,70 @@ func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err err
 	out := make([]image.Backend, dataN)
 	out[addr.Pos] = nb.Backend()
 	if err := image.Recover(p, data, parity, out, length); err != nil {
+		_ = fs.Buckets.Discard(nb)
 		return nil, err
 	}
 	// The recovered bytes are a UDF image: adopt them so reads resolve.
 	vol, err := udf.Open(p, nb.Backend())
 	if err != nil {
+		_ = fs.Buckets.Discard(nb)
 		return nil, fmt.Errorf("olfs: recovered image does not parse: %w", err)
 	}
 	if image.ID(vol.ImageID()) != id {
+		_ = fs.Buckets.Discard(nb)
 		return nil, fmt.Errorf("olfs: recovered image identity mismatch: got %s want %s",
+			image.ID(vol.ImageID()), id)
+	}
+	fs.Buckets.Adopt(nb, vol)
+	fs.Cat.Forget(id)
+	return nb, nil
+}
+
+// migrateImage copies a still-readable data image off a degraded tray into a
+// fresh buffer bucket by direct read (no parity math), verifying that the
+// copy parses as a UDF image with the same identity. The old disc location is
+// forgotten so the retired tray drops out of the catalog.
+func (fs *FS) migrateImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err error) {
+	op := fs.tracer.StartOp(p, "olfs.migrate", "scrub")
+	op.Annotate("image", id.String())
+	defer func() { op.Finish(p, err) }()
+	addr, ok := fs.Cat.Locate(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: image %s not on disc", ErrPartMissing, id)
+	}
+	gi, err := fs.fetchTray(p, addr.Tray, sched.Scrub)
+	if err != nil {
+		return nil, err
+	}
+	view := optical.ImageView{Drive: fs.lib.Groups[gi].Drives[addr.Pos]}
+	nb, err = fs.Buckets.OpenRaw(p, addr.Len)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 1<<20)
+	dst := nb.Backend()
+	for off := int64(0); off < addr.Len; off += int64(len(buf)) {
+		n := int64(len(buf))
+		if off+n > addr.Len {
+			n = addr.Len - off
+		}
+		if err := view.ReadAt(p, buf[:n], off); err != nil {
+			_ = fs.Buckets.Discard(nb)
+			return nil, err
+		}
+		if err := dst.WriteAt(p, buf[:n], off); err != nil {
+			_ = fs.Buckets.Discard(nb)
+			return nil, err
+		}
+	}
+	vol, err := udf.Open(p, nb.Backend())
+	if err != nil {
+		_ = fs.Buckets.Discard(nb)
+		return nil, fmt.Errorf("olfs: migrated image does not parse: %w", err)
+	}
+	if image.ID(vol.ImageID()) != id {
+		_ = fs.Buckets.Discard(nb)
+		return nil, fmt.Errorf("olfs: migrated image identity mismatch: got %s want %s",
 			image.ID(vol.ImageID()), id)
 	}
 	fs.Buckets.Adopt(nb, vol)
@@ -144,25 +240,33 @@ func (fs *FS) RegenerateParity(p *sim.Proc, tray rack.TrayID) ([]*bucket.Bucket,
 	if err != nil {
 		return nil, err
 	}
-	dataN := len(onTray) - fs.cfg.ParityDiscs
+	dataN, _ := fs.trayLayout(onTray)
 	if dataN < 1 {
 		return nil, fmt.Errorf("olfs: tray %v has no data images", tray)
 	}
 	var out []*bucket.Bucket
 	var pbs []image.Backend
+	discard := func() {
+		for _, nb := range out {
+			_ = fs.Buckets.Discard(nb)
+		}
+	}
 	for i := 0; i < fs.cfg.ParityDiscs; i++ {
 		nb, err := fs.Buckets.OpenRaw(p, length)
 		if err != nil {
+			discard()
 			return nil, err
 		}
 		out = append(out, nb)
 		pbs = append(pbs, nb.Backend())
 	}
 	if err := image.GenerateParity(p, backends[:dataN], pbs, length); err != nil {
+		discard()
 		return nil, err
 	}
 	for _, nb := range out {
 		if err := fs.Buckets.Seal(p, nb); err != nil {
+			discard()
 			return nil, err
 		}
 	}

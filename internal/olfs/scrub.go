@@ -24,6 +24,7 @@ type RepairReport struct {
 	Scrub     ScrubReport
 	BadDiscs  []int                  // positions whose discs failed readback
 	Recovered []image.ID             // images reconstructed into fresh buckets
+	Migrated  []image.ID             // readable images copied off the failed tray
 	ReBurn    *sim.Completion[error] // non-nil when recovered images were queued to burn
 }
 
@@ -54,7 +55,10 @@ func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (rep RepairReport, e
 	// 1 MB strip that failed verification.
 	const stripLen = 1 << 20
 	probe := make([]byte, stripLen)
-	for pos := range onTray {
+	for pos := 0; pos < len(g.Drives); pos++ {
+		if _, ok := onTray[pos]; !ok {
+			continue
+		}
 		view := optical.ImageView{Drive: g.Drives[pos]}
 		bad := false
 		for _, off := range scrub.BadStrips {
@@ -74,48 +78,86 @@ func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (rep RepairReport, e
 			rep.BadDiscs = append(rep.BadDiscs, pos)
 		}
 	}
-	if len(rep.BadDiscs) == 0 {
-		// Parity mismatch without a read error: silent corruption. Rebuild
-		// fresh parity into the buffer as a repair artifact and retire the
-		// tray from the scrub rotation (degraded; readable discs stay
-		// readable through the catalog).
-		bks, err := fs.RegenerateParity(p, tray)
-		if err != nil {
-			return rep, err
-		}
-		for _, b := range bks {
-			rep.Recovered = append(rep.Recovered, b.ID)
-		}
-		fs.Cat.SetDAState(tray, image.DAFailed)
-		return rep, nil
+	// The tray is degraded — whether a disc failed outright or parity no
+	// longer verifies (silent corruption). Move every data image off it: bad
+	// images are reconstructed from the survivors plus parity, readable ones
+	// are migrated by direct copy. The whole set re-burns onto a fresh array
+	// (parity regenerates at burn time), so no image is left depending on the
+	// failed tray's stale parity.
+	dataN, parityPos := fs.trayLayout(onTray)
+	parityAt := make(map[int]bool, len(parityPos))
+	for _, pos := range parityPos {
+		parityAt[pos] = true
 	}
-	// Reconstruct each failed data image into the buffer.
-	dataN := len(onTray) - fs.cfg.ParityDiscs
-	var recovered []*bucket.Bucket
+	badData := make(map[int]bool, len(rep.BadDiscs))
 	for _, pos := range rep.BadDiscs {
-		if pos >= dataN {
-			continue // parity positions are regenerated, not recovered
+		if pos < dataN && !parityAt[pos] {
+			badData[pos] = true
 		}
-		id := onTray[pos]
-		nb, err := fs.RecoverImage(p, id)
-		if err != nil {
-			return rep, fmt.Errorf("olfs: repair of %s: %w", id, err)
-		}
-		recovered = append(recovered, nb)
-		rep.Recovered = append(rep.Recovered, id)
 	}
-	if len(recovered) > 0 {
-		for _, b := range recovered {
+	// Record the old placements: recovery and migration Forget each image as
+	// they secure it, and if a later image fails mid-pass the forgets must be
+	// rolled back — a partially-forgotten tray breaks the contiguous
+	// data-then-parity layout every scrub relies on (disc contents are
+	// untouched by Forget, so restoring the catalog entries is always safe).
+	oldAddr := make(map[image.ID]image.DiscAddr, len(onTray))
+	for _, id := range onTray {
+		if a, ok := fs.Cat.Locate(id); ok {
+			oldAddr[id] = a
+		}
+	}
+	var rebirth []*bucket.Bucket
+	var moved []image.ID
+	for pos := 0; pos < dataN; pos++ {
+		id, ok := onTray[pos]
+		if !ok || parityAt[pos] {
+			continue
+		}
+		var nb *bucket.Bucket
+		var werr error
+		if badData[pos] {
+			nb, werr = fs.RecoverImage(p, id)
+		} else {
+			nb, werr = fs.migrateImage(p, id)
+		}
+		if werr != nil {
+			for _, mid := range moved {
+				fs.Cat.Place(mid, oldAddr[mid])
+			}
+			rep.Recovered, rep.Migrated = nil, nil
+			return rep, fmt.Errorf("olfs: repair of %s: %w", id, werr)
+		}
+		moved = append(moved, id)
+		if badData[pos] {
+			rep.Recovered = append(rep.Recovered, id)
+		} else {
+			rep.Migrated = append(rep.Migrated, id)
+		}
+		rebirth = append(rebirth, nb)
+	}
+	// Parity images are regenerated when the set re-burns; drop their old
+	// catalog locations so nothing references the retired tray.
+	if len(parityPos) > 0 {
+		for _, pos := range parityPos {
+			fs.Cat.Forget(onTray[pos])
+		}
+	} else {
+		for pos := dataN; pos < len(onTray); pos++ {
+			if id, ok := onTray[pos]; ok {
+				fs.Cat.Forget(id)
+			}
+		}
+	}
+	// Retire the tray from placement and the scrub rotation (§4.1's Failed
+	// state) before queueing the re-burn, so the burn task cannot pick it.
+	fs.Cat.SetDAState(tray, image.DAFailed)
+	if len(rebirth) > 0 {
+		for _, b := range rebirth {
 			_ = fs.Buckets.MarkBurning(b)
 		}
-		rep.ReBurn = fs.enqueueBurn(recovered)
+		rep.ReBurn = fs.enqueueBurn(rebirth)
 		fs.m.repairs.Add(1)
 	}
-	// The tray is degraded: the recovered images now live elsewhere, so its
-	// parity no longer covers its remaining discs. Retire it from the scrub
-	// rotation; surviving images stay readable via the catalog (§4.1's
-	// Failed state).
-	fs.Cat.SetDAState(tray, image.DAFailed)
 	return rep, nil
 }
 

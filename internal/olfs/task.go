@@ -44,6 +44,41 @@ func (s offsetSource) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 }
 func (s offsetSource) Size() int64 { return s.size }
 
+// zeroTail views a bucket backend as exactly limit payload bytes: reads past
+// the limit return zeros. A recycled buffer slot can hold stale bytes from
+// its previous tenant beyond the current image's payload, but the burned
+// disc reads zeros past the image's watermark — so parity must be computed
+// over zeros there too, or scrub verification of any mixed-length set would
+// flag phantom mismatches forever.
+type zeroTail struct {
+	b     image.Backend
+	limit int64
+}
+
+func (z zeroTail) ReadAt(p *sim.Proc, buf []byte, off int64) error {
+	n := int64(len(buf))
+	keep := int64(0)
+	if off < z.limit {
+		keep = z.limit - off
+		if keep > n {
+			keep = n
+		}
+		if err := z.b.ReadAt(p, buf[:keep], off); err != nil {
+			return err
+		}
+	}
+	for i := keep; i < n; i++ {
+		buf[i] = 0
+	}
+	return nil
+}
+
+func (z zeroTail) WriteAt(p *sim.Proc, buf []byte, off int64) error {
+	return z.b.WriteAt(p, buf, off)
+}
+
+func (z zeroTail) Size() int64 { return z.limit }
+
 // usedBytes returns the payload size of an image bucket, 2 KB aligned.
 func usedBytes(b *bucket.Bucket) int64 {
 	u := b.Used()
@@ -235,7 +270,7 @@ func (fs *FS) generateParity(p *sim.Proc, t *burnTask) (err error) {
 	length := int64(0)
 	data := make([]image.Backend, len(t.images))
 	for i, b := range t.images {
-		data[i] = b.Backend()
+		data[i] = zeroTail{b: b.Backend(), limit: usedBytes(b)}
 		if u := usedBytes(b); u > length {
 			length = u
 		}
@@ -243,9 +278,18 @@ func (fs *FS) generateParity(p *sim.Proc, t *burnTask) (err error) {
 	if length == 0 {
 		length = udf.BlockSize
 	}
+	// On any failure the half-built parity buckets are regenerable: discard
+	// them so the slots return to the pool instead of leaking as Open.
+	discard := func() {
+		for _, b := range t.parity {
+			_ = fs.Buckets.Discard(b)
+		}
+		t.parity = nil
+	}
 	for i := 0; i < fs.cfg.ParityDiscs; i++ {
 		pb, err := fs.Buckets.OpenRaw(p, length)
 		if err != nil {
+			discard()
 			return err
 		}
 		t.parity = append(t.parity, pb)
@@ -255,13 +299,16 @@ func (fs *FS) generateParity(p *sim.Proc, t *burnTask) (err error) {
 		par[i] = b.Backend()
 	}
 	if err := image.GenerateParity(p, data, par, length); err != nil {
+		discard()
 		return err
 	}
 	for _, b := range t.parity {
 		if err := fs.Buckets.Seal(p, b); err != nil {
+			discard()
 			return err
 		}
 		if err := fs.Buckets.MarkBurning(b); err != nil {
+			discard()
 			return err
 		}
 	}
@@ -271,7 +318,10 @@ func (fs *FS) generateParity(p *sim.Proc, t *burnTask) (err error) {
 // finishBurn records catalog state and releases buffer copies.
 func (fs *FS) finishBurn(p *sim.Proc, t *burnTask, all []*bucket.Bucket) {
 	for i, b := range all {
-		fs.Cat.Place(b.ID, image.DiscAddr{Tray: *t.tray, Pos: i, Len: usedBytes(b)})
+		fs.Cat.Place(b.ID, image.DiscAddr{
+			Tray: *t.tray, Pos: i, Len: usedBytes(b),
+			Parity: i >= len(t.images),
+		})
 		_ = fs.Buckets.MarkBurned(b)
 		if fs.cfg.RecycleAfterBurn {
 			_ = fs.Buckets.Recycle(p, b)
@@ -282,14 +332,21 @@ func (fs *FS) finishBurn(p *sim.Proc, t *burnTask, all []*bucket.Bucket) {
 	t.done.Resolve(nil, nil)
 }
 
-// failBurn returns images to the filled state and resolves the task with an
-// error.
+// failBurn returns data images to the filled state (they hold the only copy
+// of user data and stay readable from the buffer) and resolves the task with
+// an error. Parity buckets are discarded, not kept: they are regenerated on
+// any later burn, and leaving them Filled would leak buffer slots that no
+// flush ever collects.
 func (fs *FS) failBurn(p *sim.Proc, t *burnTask, err error) {
-	for _, b := range append(append([]*bucket.Bucket(nil), t.images...), t.parity...) {
+	for _, b := range t.images {
 		if b.State() == bucket.StateBurning {
 			_ = fs.Buckets.MarkBurnFailed(b)
 		}
 	}
+	for _, b := range t.parity {
+		_ = fs.Buckets.Discard(b)
+	}
+	t.parity = nil
 	t.done.Resolve(err, err)
 }
 

@@ -1,13 +1,42 @@
 package olfs
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"ros/internal/obs"
 	"ros/internal/optical"
+	"ros/internal/rack"
 	"ros/internal/sim"
 )
+
+// writeBurnSetTB writes 4 x 400 KB files (two 1 MB buckets -> 2 data images +
+// 1 parity) and returns the burn completion.
+func writeBurnSetTB(t *testing.T, tb *testbed, p *sim.Proc) *sim.Completion[error] {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("/arch/f%02d", i)
+		if err := tb.fs.WriteFile(p, name, pat(400*1024, byte(i+1))); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	c, err := tb.fs.FlushAndBurn(p)
+	if err != nil {
+		t.Fatalf("FlushAndBurn: %v", err)
+	}
+	return c
+}
+
+// burningGroupTB returns the drive group currently burning, if any.
+func burningGroupTB(tb *testbed) *rack.DriveGroup {
+	for _, g := range tb.lib.Groups {
+		if g.AnyBurning() {
+			return g
+		}
+	}
+	return nil
+}
 
 // TestTraceSpanBalanceMixedWorkload drives every traced entry point —
 // writes, an interrupted-then-resumed burn (which requeues the task), a cold
@@ -23,13 +52,13 @@ func TestTraceSpanBalanceMixedWorkload(t *testing.T) {
 		c.Trace = obs.TracerConfig{SampleEvery: 1000}
 	})
 	tb.run(t, func(p *sim.Proc) {
-		c := writeBurnSet(t, tb, p)
+		c := writeBurnSetTB(t, tb, p)
 
 		// Interrupt drive 0 mid-burn: the task requeues and resumes (§4.8),
 		// marking the trace as retried.
 		tb.env.Go("interrupter", func(ip *sim.Proc) {
 			for i := 0; i < 10000; i++ {
-				if g := burningGroup(tb); g != nil {
+				if g := burningGroupTB(tb); g != nil {
 					ip.Sleep(50 * time.Second)
 					if g.Drives[0].State() == optical.StateBurning {
 						g.Drives[0].InterruptBurn()

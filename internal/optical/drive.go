@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"ros/internal/faultinject"
 	"ros/internal/obs"
 	"ros/internal/sim"
 )
@@ -17,6 +18,7 @@ var (
 	ErrDriveLoaded  = errors.New("optical: drive already holds a disc")
 	ErrBurnAborted  = errors.New("optical: burn interrupted")
 	ErrReadOnlyPath = errors.New("optical: discs are written only by burning")
+	ErrDriveDead    = errors.New("optical: drive dead")
 )
 
 // DriveState is the drive's lifecycle state.
@@ -148,6 +150,7 @@ type Drive struct {
 	busy   *sim.Resource
 	head   int64 // current optical head position for seek modeling
 	cold   bool  // disc inserted by the arm but not yet spun up
+	dead   bool // hardware failure (fault-injected); every operation fails
 
 	// interrupt is set by InterruptBurn and checked at chunk boundaries.
 	interrupt bool
@@ -211,6 +214,24 @@ func (dr *Drive) Loaded() bool { return dr.disc != nil }
 // it can accept a new disc.
 func (dr *Drive) Idle() bool {
 	return dr.disc == nil && (dr.state == StateSleep || dr.state == StateEmpty)
+}
+
+// Dead reports whether the drive has suffered a (fault-injected) permanent
+// hardware failure. A dead drive fails every electronic operation; the
+// robotic arm can still extract its disc (ArmEject is mechanical).
+func (dr *Drive) Dead() bool { return dr.dead }
+
+// health fails the operation if the drive is already dead, and consults the
+// drive-death fault point: a firing rule kills the drive permanently.
+func (dr *Drive) health(p *sim.Proc) error {
+	if dr.dead {
+		return fmt.Errorf("%w: %s", ErrDriveDead, dr.ID)
+	}
+	if err := faultinject.Check(p, faultinject.PointDriveDead, dr.ID); err != nil {
+		dr.dead = true
+		return fmt.Errorf("%w: %s (%v)", ErrDriveDead, dr.ID, err)
+	}
+	return nil
 }
 
 // Load inserts a disc (the robotic arm has already placed it on the open
@@ -327,6 +348,9 @@ func (dr *Drive) nominalSpeedX(pr float64, dip bool) float64 {
 func (dr *Drive) Erase(p *sim.Proc) error {
 	dr.busy.Acquire(p)
 	defer dr.busy.Release()
+	if err := dr.health(p); err != nil {
+		return err
+	}
 	if dr.disc == nil {
 		return fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
 	}
@@ -378,6 +402,9 @@ func (dr *Drive) Burn(p *sim.Proc, src BurnSource, opts BurnOptions) (rep BurnRe
 		}
 		sp.Fail(p, err)
 	}()
+	if err = dr.health(p); err != nil {
+		return rep, err
+	}
 	if dr.disc == nil {
 		return rep, fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
 	}
@@ -427,6 +454,11 @@ func (dr *Drive) Burn(p *sim.Proc, src BurnSource, opts BurnOptions) (rep BurnRe
 		if dr.interrupt {
 			rep.Interrupted = true
 			break
+		}
+		// Chunk-boundary fault points: a burn error aborts the session (the
+		// caller's burn task fails the tray and retries on fresh media).
+		if err = faultinject.Check(p, faultinject.PointOpticalBurn, dr.ID); err != nil {
+			return rep, err
 		}
 		n := chunkLogical
 		if burnedLogical+n > logical {
@@ -500,6 +532,9 @@ func (dr *Drive) InterruptBurn() { dr.interrupt = true }
 func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 	dr.busy.Acquire(p)
 	defer dr.busy.Release()
+	if err := dr.health(p); err != nil {
+		return err
+	}
 	if dr.disc == nil {
 		return fmt.Errorf("%w: %s", ErrNoDisc, dr.ID)
 	}
@@ -531,8 +566,21 @@ func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 	dr.BytesRead += int64(len(buf))
 	dr.m.bytesRead.Add(int64(len(buf)))
 	dr.m.readLatency.Observe(int64(t))
-	sp.End(p)
-	return dr.disc.readAt(buf, off)
+	// Media fault points mutate the disc and let its read path surface the
+	// typed error (ErrDiscFailed / ErrBadSector); optical.read injects a
+	// transient drive-side read failure directly.
+	if err := faultinject.Check(p, faultinject.PointMediaAged, dr.disc.ID); err != nil {
+		dr.disc.Fail()
+	}
+	if err := faultinject.Check(p, faultinject.PointMediaLSE, dr.disc.ID); err != nil {
+		dr.disc.CorruptSector(off)
+	}
+	err := faultinject.Check(p, faultinject.PointOpticalRead, dr.ID)
+	if err == nil {
+		err = dr.disc.readAt(buf, off)
+	}
+	sp.Fail(p, err)
+	return err
 }
 
 // ImageView presents the loaded disc's image as one contiguous byte range

@@ -142,6 +142,19 @@ func (d *Disc) CorruptSector(off int64) { d.badSecs[off&^(SectorSize-1)] = true 
 // BadSectors returns the number of injected sector errors.
 func (d *Disc) BadSectors() int { return len(d.badSecs) }
 
+// FlipByte silently corrupts the stored byte at off: unlike CorruptSector
+// the sector still reads without error, so only parity verification can
+// detect the damage (bit rot below the drive's error correction).
+func (d *Disc) FlipByte(off int64) {
+	ci := off / storeChunk
+	c, ok := d.chunks[ci]
+	if !ok {
+		c = make([]byte, storeChunk)
+		d.chunks[ci] = c
+	}
+	c[off%storeChunk] ^= 0xFF
+}
+
 // EraseCycles returns the number of completed erases (RW media).
 func (d *Disc) EraseCycles() int { return d.erases }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"ros/internal/faultinject"
 	"ros/internal/obs"
 	"ros/internal/optical"
 	"ros/internal/plc"
@@ -361,6 +362,15 @@ func (lib *Library) LoadArray(p *sim.Proc, id TrayID, gi int) (err error) {
 		return fmt.Errorf("%w: %v", ErrTrayEmpty, id)
 	}
 
+	// Fault points fire at composite entry, before any disc moves: a jam or
+	// load failure aborts with tray and drives in their pre-call state.
+	if err := faultinject.Check(p, faultinject.PointArmJam, fmt.Sprintf("r%d", id.Roller)); err != nil {
+		return fmt.Errorf("rack: arm jam: %w", err)
+	}
+	if err := faultinject.Check(p, faultinject.PointTrayLoad, id.String()); err != nil {
+		return fmt.Errorf("rack: tray load: %w", err)
+	}
+
 	ctl := r.Ctl
 	if err := lib.exec(p, ctl, plc.Command{Op: plc.OpRotate, Args: []int{id.Slot}}); err != nil {
 		return err
@@ -450,6 +460,15 @@ func (lib *Library) UnloadArray(p *sim.Proc, gi int, into *TrayID) (err error) {
 	r.mech.Acquire(p)
 	defer r.mech.Release()
 	ctl := r.Ctl
+
+	// Fault points fire at composite entry: injecting later (after ArmEject)
+	// would model discs vanishing mid-transfer, which real jams don't do.
+	if err := faultinject.Check(p, faultinject.PointArmJam, fmt.Sprintf("r%d", dest.Roller)); err != nil {
+		return fmt.Errorf("rack: arm jam: %w", err)
+	}
+	if err := faultinject.Check(p, faultinject.PointTrayUnload, dest.String()); err != nil {
+		return fmt.Errorf("rack: tray unload: %w", err)
+	}
 
 	n := 0
 	for _, d := range g.Drives {

@@ -215,8 +215,10 @@ func (a *Array) readChunk(p *sim.Proc, stripe int64, col int, dst []byte, coff i
 	}
 	// Degraded path: reconstruct the whole chunk.
 	full := make([]byte, a.stripeUnit)
+	// Wrap the reconstruction error (not the device error) so callers can
+	// match ErrTooManyFailed on beyond-bound loss.
 	if rerr := a.reconstructChunk(p, stripe, col, full); rerr != nil {
-		return fmt.Errorf("degraded read failed: %v (original: %w)", rerr, err)
+		return fmt.Errorf("degraded read failed: %w (original: %v)", rerr, err)
 	}
 	copy(dst, full[coff:])
 	return nil

@@ -36,6 +36,7 @@ type Env struct {
 	rng    *rand.Rand
 	trace  func(t time.Duration, name, msg string)
 	sinks  []func(TraceEvent)
+	faults any // environment-wide fault plane (owned by internal/faultinject)
 }
 
 // TraceEvent is one structured simulation event: Logf lines (KindLog) and
@@ -78,6 +79,15 @@ func NewEnv() *Env {
 
 // Seed reseeds the environment's deterministic random source.
 func (e *Env) Seed(seed int64) { e.rng = rand.New(rand.NewSource(seed)) }
+
+// SetFaultPlane installs (or clears, with nil) the environment's fault plane.
+// The engine never interprets the value; internal/faultinject stores its
+// Plane here so lower layers can consult named fault points without the
+// engine depending on upper packages (same pattern as Proc trace contexts).
+func (e *Env) SetFaultPlane(v any) { e.faults = v }
+
+// FaultPlane returns the value installed by SetFaultPlane, or nil.
+func (e *Env) FaultPlane() any { return e.faults }
 
 // Rand returns the environment's deterministic random source. It must only
 // be used from within processes (or before Run), never concurrently.

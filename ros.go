@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"ros/internal/blockdev"
+	"ros/internal/faultinject"
 	"ros/internal/obs"
 	"ros/internal/olfs"
 	"ros/internal/optical"
@@ -93,6 +94,14 @@ type Options struct {
 	// FS.FlushAndBurn). By default full image sets burn as they form.
 	DisableAutoBurn bool
 
+	// FaultSeed seeds the deterministic fault plane's random source (0 uses
+	// seed 1). The plane is always registered; with no rules armed it is
+	// inert.
+	FaultSeed int64
+	// Faults arms fault-injection rules at assembly time, in the
+	// faultinject.ParseSpec grammar (e.g. "optical.read:p=0.01;media.lse:once").
+	Faults string
+
 	// TraceCapacity bounds the causal-trace journal (0 = default 256;
 	// negative disables request tracing entirely).
 	TraceCapacity int
@@ -126,6 +135,9 @@ type System struct {
 	FS      *olfs.FS
 	Buffer  *pagecache.Volume
 	Obs     *obs.Registry
+	// Faults is the deterministic fault-injection plane. Always present;
+	// inert until rules are armed (Options.Faults or Faults.ArmSpec).
+	Faults *faultinject.Plane
 }
 
 // New assembles a System on a fresh simulation environment.
@@ -144,6 +156,13 @@ func New(o Options) (*System, error) {
 		o.BucketBytes = 8 << 20
 	}
 	reg := obs.New(env)
+	plane := faultinject.New(env, o.FaultSeed)
+	plane.AttachObs(reg)
+	if o.Faults != "" {
+		if _, err := plane.ArmSpec(o.Faults); err != nil {
+			return nil, err
+		}
+	}
 	lib, err := rack.New(env, rack.Config{
 		Rollers:     o.Rollers,
 		DriveGroups: o.DriveGroups,
@@ -193,7 +212,7 @@ func New(o Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Env: env, Library: lib, FS: fs, Buffer: buffer, Obs: reg}, nil
+	return &System{Env: env, Library: lib, FS: fs, Buffer: buffer, Obs: reg, Faults: plane}, nil
 }
 
 // Do runs fn as a simulation process and drains the environment to
