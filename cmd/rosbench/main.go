@@ -61,6 +61,7 @@ var registry = map[string]func() (experiments.Result, error){
 	"ablate-streams":     experiments.AblationStreamIsolation,
 	"ablate-directwrite": experiments.AblationDirectWrite,
 	"ablate-sched":       experiments.AblationScheduler,
+	"ablate-pread":       experiments.AblationParallelRead,
 	"sustained":          experiments.SustainedIngest,
 }
 

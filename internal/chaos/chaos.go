@@ -5,10 +5,11 @@
 // contents and the fault plane, so a failing run reproduces exactly from the
 // seed plus fault spec printed in the report. The shape is three phases:
 //
-//  1. Chaos: N concurrent workers issue a mixed write / read-verify / sync /
-//     flush-burn / scrub-repair workload while fault rules fire. Operation
-//     errors are expected and tolerated here — but a read that *succeeds*
-//     must return byte-exact data.
+//  1. Chaos: N concurrent workers issue a mixed write / read-verify /
+//     open-handle / sync / flush-burn / scrub-repair workload while fault
+//     rules fire. Operation errors are expected and tolerated here — but a
+//     read that *succeeds* must return byte-exact data, including reads
+//     through handles held open across tray churn.
 //  2. Heal: the fault plane is cleared, dirty buckets are flushed and burned,
 //     and every used tray is scrubbed and repaired until a full pass comes
 //     back clean (latent sector errors and aged discs injected during the
@@ -35,13 +36,14 @@ import (
 )
 
 // DefaultFaults is the campaign's default fault mix: transient read and burn
-// errors, latent sector error showers, and a few arm jams. The burn
-// probability is per burn *chunk* (a drive burn is ~500 chunks), so 5e-4
-// still fails roughly one burn in five. Whole-drive and whole-disc death are
-// left out of the default because with a small library they can exceed the
-// redundancy bound, which is a legitimate data loss, not a repair-pipeline
-// bug.
-const DefaultFaults = "optical.read:p=0.02;optical.burn:p=0.0005;media.lse:p=0.01;rack.arm.jam:every=7,count=3"
+// errors, latent sector error showers, a few arm jams, and tray load/unload
+// failures (so evictions racing open read handles exercise the validity-epoch
+// re-resolution path under mechanical errors too). The burn probability is
+// per burn *chunk* (a drive burn is ~500 chunks), so 5e-4 still fails roughly
+// one burn in five. Whole-drive and whole-disc death are left out of the
+// default because with a small library they can exceed the redundancy bound,
+// which is a legitimate data loss, not a repair-pipeline bug.
+const DefaultFaults = "optical.read:p=0.02;optical.burn:p=0.0005;media.lse:p=0.01;rack.arm.jam:every=7,count=3;rack.tray.load:p=0.02;rack.tray.unload:p=0.02"
 
 // Config parameterizes a campaign. The zero value (plus a seed) runs a small
 // laptop-friendly campaign with DefaultFaults.
@@ -254,7 +256,7 @@ func worker(sys *ros.System, p *sim.Proc, cfg Config, wi int, rep *Report) []ack
 				continue
 			}
 			mine = append(mine, ackedFile{path: path, data: data})
-		case pick < 75: // read back a random acked file and verify
+		case pick < 70: // read back a random acked file and verify
 			rep.Ops["read"]++
 			if len(mine) == 0 {
 				continue
@@ -271,7 +273,39 @@ func worker(sys *ros.System, p *sim.Proc, cfg Config, wi int, rep *Report) []ack
 				rep.Violations = append(rep.Violations,
 					fmt.Sprintf("mid-chaos corrupt read of %s (%d bytes)", f.path, len(got)))
 			}
-		case pick < 85: // metadata sync
+		case pick < 78: // long-lived handle straddling tray churn
+			// The eviction-vs-open-handle invariant: read half a file through
+			// a handle, churn another file (possibly swapping the handle's
+			// tray out of its drive group), then read the second half through
+			// the same handle. A successful read must return the original
+			// bytes — a source silently left pointing at the swapped-in tray
+			// is exactly the stale-handle bug.
+			rep.Ops["handle"]++
+			if len(mine) == 0 {
+				continue
+			}
+			f := mine[rng.Intn(len(mine))]
+			churn := mine[rng.Intn(len(mine))]
+			fr, err := sys.FS.OpenFile(p, f.path)
+			if err != nil {
+				rep.OpErrors["handle"]++
+				continue
+			}
+			buf := make([]byte, len(f.data))
+			h := len(buf) / 2
+			n1, err1 := fr.ReadAt(p, buf[:h], 0)
+			_, _ = sys.FS.ReadFile(p, churn.path) // churn errors are irrelevant
+			n2, err2 := fr.ReadAt(p, buf[h:], int64(h))
+			fr.Close(p)
+			if err1 != nil || err2 != nil || n1 < h || n2 < len(buf)-h {
+				rep.OpErrors["handle"]++
+				continue
+			}
+			if !bytes.Equal(buf, f.data) {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("stale-handle read of %s returned wrong bytes after tray churn", f.path))
+			}
+		case pick < 86: // metadata sync
 			rep.Ops["sync"]++
 			if err := sys.FS.Sync(p); err != nil {
 				rep.OpErrors["sync"]++

@@ -440,7 +440,7 @@ func Ablations() ([]Result, error) {
 		AblationTieredBuffer, AblationFuseChunk, AblationReadPolicy,
 		AblationForepart, AblationReadCache, AblationUniquePath,
 		AblationOverlapScheduling, AblationStreamIsolation,
-		AblationDirectWrite, AblationScheduler,
+		AblationDirectWrite, AblationScheduler, AblationParallelRead,
 	}
 	var out []Result
 	for _, fn := range runs {

@@ -1,0 +1,20 @@
+package experiments
+
+import "testing"
+
+func TestAblationParallelRead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burns a full 12-disc tray twice")
+	}
+	r, err := AblationParallelRead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if s := metric(r, "scrub speedup"); s.Measured < 4 {
+		t.Errorf("scrub speedup = %.2fx, want >= 4x over the serial walk", s.Measured)
+	}
+	if s := metric(r, "recovery speedup"); s.Measured < 4 {
+		t.Errorf("recovery speedup = %.2fx, want >= 4x over the serial walk", s.Measured)
+	}
+}

@@ -36,9 +36,10 @@ const (
 	// PointDriveDead kills a drive permanently: the current operation fails
 	// and every later one returns ErrDriveDead (detail: drive ID).
 	PointDriveDead = "optical.drive.dead"
-	// PointMediaLSE develops a latent sector error under the head: the sector
-	// at the current read offset is corrupted before the read completes
-	// (detail: disc ID).
+	// PointMediaLSE develops a latent sector error under the head: a sector
+	// within the range swept by the current read is corrupted before the read
+	// completes, placed deterministically per disc so lockstep multi-disc
+	// reads develop errors at distinct sectors (detail: disc ID).
 	PointMediaLSE = "media.lse"
 	// PointMediaAged ages the loaded disc to whole-disc failure
 	// (detail: disc ID).

@@ -1,0 +1,327 @@
+// Parallel strip reading: a tray's discs sit in twelve independent drives,
+// so parity verification and erasure recovery can read all columns
+// concurrently and aggregate close to Table 2's 282.5 MB/s instead of the
+// 24.1 MB/s a single drive sustains. The parallel variants below spawn one
+// long-lived reader process per column and drive them in lockstep
+// chunk-rounds: the parent hands every column its 1 MB strip, waits for the
+// round, then does the (time-free) XOR/GF math serially. Memory stays
+// bounded at one chunk per column, and each column read is admitted through
+// a Gate so a background crew cannot starve interactive readers.
+package image
+
+import (
+	"bytes"
+	"fmt"
+
+	"ros/internal/obs"
+	"ros/internal/raid"
+	"ros/internal/sim"
+)
+
+// Gate admits one column read at a time per Acquire/Release pair. olfs backs
+// it with the mechanical scheduler's per-group read slots so parallel
+// scrub/recover crews yield to interactive requests between chunks; a nil
+// Gate admits everything immediately.
+type Gate interface {
+	Acquire(p *sim.Proc)
+	Release()
+}
+
+// stripJob asks a column reader for one chunk at off into its buffer.
+type stripJob struct {
+	off int64
+	n   int
+	c   *sim.Completion[error]
+}
+
+// stripCol is one column's reader process handle plus its round buffer.
+type stripCol struct {
+	jobs *sim.Queue[stripJob]
+	buf  []byte
+}
+
+// stripCrew runs one reader process per non-nil backend.
+type stripCrew struct {
+	env  *sim.Env
+	cols []*stripCol
+}
+
+// startCrew spawns a reader process per non-nil backend. Every process ends
+// when the crew is stopped; the caller must defer stop() so an error return
+// cannot strand parked readers (a stranded reader deadlocks the drain).
+func startCrew(p *sim.Proc, name string, backends []Backend, gate Gate) *stripCrew {
+	env := p.Env()
+	tctx := p.TraceContext()
+	crew := &stripCrew{env: env, cols: make([]*stripCol, len(backends))}
+	for i, b := range backends {
+		if b == nil {
+			continue
+		}
+		col := &stripCol{jobs: sim.NewQueue[stripJob](env), buf: make([]byte, parityChunk)}
+		crew.cols[i] = col
+		b := b
+		i := i
+		env.Go(fmt.Sprintf("%s-col%d", name, i), func(rp *sim.Proc) {
+			rp.SetTraceContext(tctx)
+			defer rp.SetTraceContext(nil)
+			sp := obs.StartChild(rp, "image.strip_reader")
+			sp.Annotate("col", fmt.Sprintf("%d", i))
+			read := int64(0)
+			for {
+				j, ok := col.jobs.Pop(rp)
+				if !ok {
+					sp.Annotate("bytes", fmt.Sprintf("%d", read))
+					sp.End(rp)
+					return
+				}
+				if gate != nil {
+					gate.Acquire(rp)
+				}
+				err := b.ReadAt(rp, col.buf[:j.n], j.off)
+				if gate != nil {
+					gate.Release()
+				}
+				if err == nil {
+					read += int64(j.n)
+				}
+				j.c.Resolve(err, nil)
+			}
+		})
+	}
+	return crew
+}
+
+// round reads one chunk from every live column concurrently and returns the
+// per-column read errors (nil entries for absent columns).
+func (crew *stripCrew) round(p *sim.Proc, off int64, n int) []error {
+	comps := make([]*sim.Completion[error], len(crew.cols))
+	for i, col := range crew.cols {
+		if col == nil {
+			continue
+		}
+		comps[i] = sim.NewCompletion[error](crew.env)
+		col.jobs.Push(stripJob{off: off, n: n, c: comps[i]})
+	}
+	errs := make([]error, len(crew.cols))
+	for i, c := range comps {
+		if c == nil {
+			continue
+		}
+		errs[i], _ = c.Wait(p)
+	}
+	return errs
+}
+
+// stop terminates every column reader.
+func (crew *stripCrew) stop() {
+	for _, col := range crew.cols {
+		if col != nil {
+			col.jobs.Close()
+		}
+	}
+}
+
+// VerifyParityParallel is VerifyParity with all data and parity columns read
+// concurrently (one reader per disc, lockstep 1 MB rounds). Results match
+// the serial scan: a strip is bad when any column fails to read or the
+// recomputed P (and Q) mismatches the stored parity.
+func VerifyParityParallel(p *sim.Proc, data []Backend, parity []Backend, length int64, gate Gate) ([]int64, error) {
+	if len(parity) < 1 || len(parity) > 2 {
+		return nil, ErrParityCount
+	}
+	cols := make([]Backend, 0, len(data)+len(parity))
+	cols = append(cols, data...)
+	cols = append(cols, parity...)
+	crew := startCrew(p, "verify", cols, gate)
+	defer crew.stop()
+	var bad []int64
+	pAcc := make([]byte, parityChunk)
+	var qAcc []byte
+	if len(parity) == 2 {
+		qAcc = make([]byte, parityChunk)
+	}
+	for off := int64(0); off < length; off += parityChunk {
+		n := parityChunk
+		if off+int64(n) > length {
+			n = int(length - off)
+		}
+		errs := crew.round(p, off, n)
+		failed := false
+		for _, e := range errs {
+			if e != nil {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			bad = append(bad, off)
+			continue
+		}
+		for i := range pAcc[:n] {
+			pAcc[i] = 0
+		}
+		if qAcc != nil {
+			for i := range qAcc[:n] {
+				qAcc[i] = 0
+			}
+		}
+		for col := range data {
+			b := crew.cols[col].buf
+			raid.XorSlice(b[:n], pAcc[:n])
+			if qAcc != nil {
+				raid.MulXorSlice(raid.Pow2(col), b[:n], qAcc[:n])
+			}
+		}
+		mismatch := !bytes.Equal(pAcc[:n], crew.cols[len(data)].buf[:n])
+		if !mismatch && qAcc != nil {
+			mismatch = !bytes.Equal(qAcc[:n], crew.cols[len(data)+1].buf[:n])
+		}
+		if mismatch {
+			bad = append(bad, off)
+		}
+	}
+	return bad, nil
+}
+
+// RecoverParallel is Recover with the surviving columns read concurrently.
+// The reconstruction math and the writes to the out backends stay on the
+// calling process (the outputs are buffer buckets, not drives).
+//
+// shadow optionally carries a degraded direct view for each lost column
+// (same shape as data, nil where absent): a disc classified bad by a scrub
+// probe usually still reads outside its failed sectors, so a chunk that
+// looks doubly-erased at bulk granularity re-resolves per sector against
+// the shadows instead of failing (see recoverChunkSectors).
+func RecoverParallel(p *sim.Proc, data, shadow, parity []Backend, out []Backend, length int64, gate Gate) error {
+	var lost []int
+	for i, d := range data {
+		if d == nil {
+			lost = append(lost, i)
+		}
+	}
+	pLost := len(parity) < 1 || parity[0] == nil
+	qAvail := len(parity) == 2 && parity[1] != nil
+	var useP, useQ bool
+	overCap := false
+	switch {
+	case len(lost) == 0:
+		return nil
+	case len(lost) == 1 && !pLost:
+		useP = true
+	case len(lost) == 1 && qAvail:
+		useQ = true
+	case len(lost) == 2 && !pLost && qAvail:
+		useP, useQ = true, true
+	default:
+		// Beyond the static parity capability — still recoverable per sector
+		// when every lost column has a readable-outside-its-LSEs shadow.
+		for _, l := range lost {
+			if l >= len(shadow) || shadow[l] == nil {
+				return fmt.Errorf("%w: %d data lost, P lost=%v, Q avail=%v", ErrTooManyLost, len(lost), pLost, qAvail)
+			}
+		}
+		overCap = true
+		useP = !pLost
+		useQ = qAvail
+	}
+	cols := append([]Backend(nil), data...)
+	pIdx, qIdx := -1, -1
+	if useP {
+		pIdx = len(cols)
+		cols = append(cols, parity[0])
+	}
+	if useQ {
+		qIdx = len(cols)
+		cols = append(cols, parity[1])
+	}
+	crew := startCrew(p, "recover", cols, gate)
+	defer crew.stop()
+	acc := make([]byte, parityChunk)
+	var qxy, dx, dy []byte
+	if len(lost) == 2 {
+		qxy = make([]byte, parityChunk)
+		dx = make([]byte, parityChunk)
+		dy = make([]byte, parityChunk)
+	}
+	for off := int64(0); off < length; off += parityChunk {
+		n := parityChunk
+		if off+int64(n) > length {
+			n = int(length - off)
+		}
+		errs := crew.round(p, off, n)
+		failed := overCap
+		for _, e := range errs {
+			if e != nil {
+				failed = true
+			}
+		}
+		if failed {
+			// A failed bulk read (or an over-capability stripe) drops to
+			// sector granularity: non-aligned sector errors across columns
+			// are individually coverable by the same parity.
+			haveData := make([][]byte, len(data))
+			for i := range data {
+				if data[i] != nil && errs[i] == nil {
+					haveData[i] = crew.cols[i].buf
+				}
+			}
+			var haveP, haveQ []byte
+			if pIdx >= 0 && errs[pIdx] == nil {
+				haveP = crew.cols[pIdx].buf
+			}
+			if qIdx >= 0 && errs[qIdx] == nil {
+				haveQ = crew.cols[qIdx].buf
+			}
+			if err := recoverChunkSectors(p, data, shadow, parity, out, gate, off, n, haveData, haveP, haveQ); err != nil {
+				return err
+			}
+			continue
+		}
+		switch {
+		case len(lost) == 1 && useP:
+			copy(acc[:n], crew.cols[pIdx].buf[:n])
+			for col := range data {
+				if col == lost[0] {
+					continue
+				}
+				raid.XorSlice(crew.cols[col].buf[:n], acc[:n])
+			}
+			if err := out[lost[0]].WriteAt(p, acc[:n], off); err != nil {
+				return err
+			}
+		case len(lost) == 1: // Q-only reconstruction
+			copy(acc[:n], crew.cols[qIdx].buf[:n])
+			for col := range data {
+				if col == lost[0] {
+					continue
+				}
+				raid.MulXorSlice(raid.Pow2(col), crew.cols[col].buf[:n], acc[:n])
+			}
+			inv := raid.Inv(raid.Pow2(lost[0]))
+			for i := 0; i < n; i++ {
+				acc[i] = raid.Mul(acc[i], inv)
+			}
+			if err := out[lost[0]].WriteAt(p, acc[:n], off); err != nil {
+				return err
+			}
+		default: // two erasures with P+Q
+			copy(acc[:n], crew.cols[pIdx].buf[:n])
+			copy(qxy[:n], crew.cols[qIdx].buf[:n])
+			for col := range data {
+				if col == lost[0] || col == lost[1] {
+					continue
+				}
+				raid.XorSlice(crew.cols[col].buf[:n], acc[:n])
+				raid.MulXorSlice(raid.Pow2(col), crew.cols[col].buf[:n], qxy[:n])
+			}
+			raid.SolveTwoErasures(lost[0], lost[1], acc[:n], qxy[:n], dx[:n], dy[:n])
+			if err := out[lost[0]].WriteAt(p, dx[:n], off); err != nil {
+				return err
+			}
+			if err := out[lost[1]].WriteAt(p, dy[:n], off); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+// Sector-granular stripe repair: a drive read fails if ANY sector in the
+// requested range is bad, so at chunk granularity two latent sector errors on
+// different discs look like a double erasure even when they sit in different
+// sectors. Re-resolving a failed chunk per sector recovers every stripe the
+// redundancy actually covers (§4.7: "data on the failed sectors can be
+// recovered from their parity discs and the corresponding data discs").
+package image
+
+import (
+	"fmt"
+
+	"ros/internal/raid"
+	"ros/internal/sim"
+)
+
+// repairSector mirrors optical.SectorSize, the disc model's read-failure
+// granularity (also the UDF block size).
+const repairSector = 2048
+
+// sectorBuf is one column's chunk at sector granularity: bytes plus a
+// per-sector validity map.
+type sectorBuf struct {
+	buf []byte
+	ok  []bool
+}
+
+func nSectors(n int) int { return (n + repairSector - 1) / repairSector }
+
+// secSpan returns the byte range of sectors [lo, hi) within an n-byte chunk.
+func secSpan(lo, hi, n int) (blo, bhi int) {
+	blo = lo * repairSector
+	bhi = hi * repairSector
+	if bhi > n {
+		bhi = n
+	}
+	return blo, bhi
+}
+
+// scanColumn fills sb from b's chunk at off, bisecting on read failures so
+// only genuinely bad sectors stay invalid (a couple of LSEs cost O(log)
+// extra reads, not one read per sector). Reads pass through the gate.
+func scanColumn(p *sim.Proc, b Backend, gate Gate, off int64, n int, sb *sectorBuf) {
+	var scan func(lo, hi int)
+	scan = func(lo, hi int) {
+		if lo >= hi {
+			return
+		}
+		blo, bhi := secSpan(lo, hi, n)
+		if gate != nil {
+			gate.Acquire(p)
+		}
+		err := b.ReadAt(p, sb.buf[blo:bhi], off+int64(blo))
+		if gate != nil {
+			gate.Release()
+		}
+		if err == nil {
+			for s := lo; s < hi; s++ {
+				sb.ok[s] = true
+			}
+			return
+		}
+		if hi-lo == 1 {
+			return // isolated bad sector
+		}
+		mid := (lo + hi) / 2
+		scan(lo, mid)
+		scan(mid, hi)
+	}
+	scan(0, nSectors(n))
+}
+
+// recoverChunkSectors resolves one recovery chunk whose bulk reads failed.
+// haveData[i]/haveP/haveQ hold the bulk bytes of columns whose chunk read
+// succeeded (nil otherwise); columns without bulk bytes are re-read per
+// sector — survivors through their data view, lost columns through their
+// degraded shadow view when one exists. Each sector is then reconstructed
+// with whatever redundancy is valid there, and every lost column's chunk is
+// written to its out backend.
+func recoverChunkSectors(p *sim.Proc, data, shadow, parity []Backend, out []Backend,
+	gate Gate, off int64, n int, haveData [][]byte, haveP, haveQ []byte) error {
+	ns := nSectors(n)
+	cols := make([]*sectorBuf, len(data))
+	for i := range data {
+		sb := &sectorBuf{buf: make([]byte, n), ok: make([]bool, ns)}
+		cols[i] = sb
+		switch {
+		case haveData[i] != nil:
+			copy(sb.buf, haveData[i][:n])
+			for s := range sb.ok {
+				sb.ok[s] = true
+			}
+		case data[i] != nil:
+			scanColumn(p, data[i], gate, off, n, sb)
+		case i < len(shadow) && shadow[i] != nil:
+			scanColumn(p, shadow[i], gate, off, n, sb)
+		}
+	}
+	loadParity := func(have []byte, b Backend) *sectorBuf {
+		if have == nil && b == nil {
+			return nil
+		}
+		sb := &sectorBuf{buf: make([]byte, n), ok: make([]bool, ns)}
+		if have != nil {
+			copy(sb.buf, have[:n])
+			for s := range sb.ok {
+				sb.ok[s] = true
+			}
+		} else {
+			scanColumn(p, b, gate, off, n, sb)
+		}
+		return sb
+	}
+	var pb, qb *sectorBuf
+	if len(parity) > 0 {
+		pb = loadParity(haveP, parity[0])
+	}
+	if len(parity) > 1 {
+		qb = loadParity(haveQ, parity[1])
+	}
+
+	for s := 0; s < ns; s++ {
+		blo, bhi := secSpan(s, s+1, n)
+		var missing []int
+		for i, sb := range cols {
+			if !sb.ok[s] {
+				missing = append(missing, i)
+			}
+		}
+		pOK := pb != nil && pb.ok[s]
+		qOK := qb != nil && qb.ok[s]
+		switch {
+		case len(missing) == 0:
+			continue
+		case len(missing) == 1 && pOK:
+			m := missing[0]
+			dst := cols[m].buf[blo:bhi]
+			copy(dst, pb.buf[blo:bhi])
+			for i, sb := range cols {
+				if i != m {
+					raid.XorSlice(sb.buf[blo:bhi], dst)
+				}
+			}
+			cols[m].ok[s] = true
+		case len(missing) == 1 && qOK:
+			m := missing[0]
+			dst := cols[m].buf[blo:bhi]
+			copy(dst, qb.buf[blo:bhi])
+			for i, sb := range cols {
+				if i != m {
+					raid.MulXorSlice(raid.Pow2(i), sb.buf[blo:bhi], dst)
+				}
+			}
+			inv := raid.Inv(raid.Pow2(m))
+			for i := range dst {
+				dst[i] = raid.Mul(dst[i], inv)
+			}
+			cols[m].ok[s] = true
+		case len(missing) == 2 && pOK && qOK:
+			x, y := missing[0], missing[1]
+			pxy := make([]byte, bhi-blo)
+			qxy := make([]byte, bhi-blo)
+			copy(pxy, pb.buf[blo:bhi])
+			copy(qxy, qb.buf[blo:bhi])
+			for i, sb := range cols {
+				if i == x || i == y {
+					continue
+				}
+				raid.XorSlice(sb.buf[blo:bhi], pxy)
+				raid.MulXorSlice(raid.Pow2(i), sb.buf[blo:bhi], qxy)
+			}
+			raid.SolveTwoErasures(x, y, pxy, qxy, cols[x].buf[blo:bhi], cols[y].buf[blo:bhi])
+			cols[x].ok[s] = true
+			cols[y].ok[s] = true
+		default:
+			return fmt.Errorf("%w: %d columns with only %d parity readable at offset %d",
+				ErrTooManyLost, len(missing), boolCount(pOK, qOK), off+int64(blo))
+		}
+	}
+
+	for i := range data {
+		if data[i] != nil || i >= len(out) || out[i] == nil {
+			continue
+		}
+		if err := out[i].WriteAt(p, cols[i].buf[:n], off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolCount(b ...bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -93,6 +93,12 @@ type Config struct {
 	// charge full write-all-once time.
 	BucketBytes int64
 
+	// SerialRead disables the tray-wide parallel read plane (multi-part
+	// fan-out, concurrent scrub/recover strips) and walks discs one at a
+	// time on the calling proc — the pre-parallel behaviour, kept as an
+	// ablation knob for Table 2 style comparisons.
+	SerialRead bool
+
 	// Sched configures the mechanical request scheduler: fifo reproduces
 	// the legacy reactive arbitration; qos-scan enables QoS classes with
 	// aging, SCAN fetch ordering and LRU+demand victim selection.
@@ -170,6 +176,12 @@ type FS struct {
 	fetchJoins map[string]int // waiters coalesced onto an in-flight fetch
 	mounted    map[*optical.Drive]*udf.Volume
 
+	// groupEpoch[gi] increments every time group gi's tray is unloaded.
+	// fileReader sources and fs.mounted entries record the epoch they were
+	// resolved under; a mismatch marks them stale so reads transparently
+	// re-resolve (via fetchTray) instead of reading the swapped-in tray.
+	groupEpoch []uint64
+
 	tracing bool
 	trace   []OpTrace
 	stopped bool
@@ -229,6 +241,9 @@ type fsMetrics struct {
 	mvSnapshots   *obs.Counter
 	coalesced     *obs.Counter   // fetch waiters that joined an in-flight fetch
 	batchSize     *obs.Histogram // consumers served per mechanical fetch
+	mvCharges     *obs.Counter   // MV index-op costs charged (DirectIO data path)
+	staleSources  *obs.Counter   // read-handle sources invalidated by tray eviction
+	joinRetries   *obs.Counter   // joined fetches retried after the winner failed
 }
 
 // bindMetrics registers every stats field as an olfs.* counter whose storage
@@ -256,6 +271,9 @@ func (fs *FS) bindMetrics(r *obs.Registry) {
 		mvSnapshots:   r.CounterAt("olfs.mv_snapshots", &fs.MVSnapshots),
 		coalesced:     r.Counter("sched.coalesced_fetches"),
 		batchSize:     r.Histogram("sched.batch_size"),
+		mvCharges:     r.Counter("olfs.mv_charges"),
+		staleSources:  r.Counter("olfs.stale_sources"),
+		joinRetries:   r.Counter("olfs.join_retries"),
 	}
 	r.Histogram("olfs.burn.latency")
 	r.Histogram("olfs.fetch.latency")
@@ -293,6 +311,7 @@ func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buff
 		fetches:    make(map[string]*sim.Completion[int]),
 		fetchJoins: make(map[string]int),
 		mounted:    make(map[*optical.Drive]*udf.Volume),
+		groupEpoch: make([]uint64, len(lib.Groups)),
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -406,6 +425,7 @@ func (fs *FS) dataOp(p *sim.Proc, name string, fn func() error) error {
 // chargeMVOp charges one index-op cost without touching an index (the
 // close/release operations of Fig 7).
 func (fs *FS) chargeMVOp(p *sim.Proc) {
+	fs.m.mvCharges.Add(1)
 	p.Sleep(fs.MV.OpCost())
 }
 

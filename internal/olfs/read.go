@@ -1,10 +1,13 @@
 package olfs
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"ros/internal/image"
 	"ros/internal/mv"
+	"ros/internal/obs"
 	"ros/internal/optical"
 	"ros/internal/rack"
 	"ros/internal/sched"
@@ -12,10 +15,26 @@ import (
 	"ros/internal/udf"
 )
 
-// partSource is a resolved, readable subfile location.
+// errStaleSource marks a resolution that raced a tray eviction: the group's
+// epoch moved while the source was being mounted/opened. Callers retry —
+// fetchTray brings the tray back.
+var errStaleSource = errors.New("olfs: read source invalidated by tray eviction")
+
+// maxSourceRetries bounds how often one part re-resolves after losing a race
+// with eviction before the error is surfaced.
+const maxSourceRetries = 4
+
+// partSource is a resolved, readable subfile location, stamped with where it
+// was resolved so a later read can detect that the tray has since been
+// evicted (group < 0 means the image was buffer-resident).
 type partSource struct {
-	rd  *udf.Reader
-	len int64
+	rd    *udf.Reader
+	len   int64
+	id    image.ID
+	vol   *udf.Volume
+	group int
+	epoch uint64
+	tray  rack.TrayID
 }
 
 // fileReader is an open-for-read OLFS file handle.
@@ -104,6 +123,9 @@ func (fr *fileReader) ReadAt(p *sim.Proc, buf []byte, off int64) (int, error) {
 	var n int
 	err := fs.dataOp(p, "read", func() error {
 		p.Sleep(fs.cfg.ReadReqOverhead)
+		if fs.cfg.DirectIO {
+			fs.chargeMVOp(p)
+		}
 		var err error
 		n, err = fr.readAt(p, buf, off)
 		return err
@@ -121,37 +143,145 @@ func (fr *fileReader) Close(p *sim.Proc) error {
 	})
 }
 
-// readAt maps a logical file offset across the version's parts.
-func (fr *fileReader) readAt(p *sim.Proc, buf []byte, off int64) (int, error) {
-	if off >= fr.entry.Size {
-		return 0, nil
-	}
+// partSeg is one part's overlap with a read request: fill buf[lo:hi] from
+// byte inOff of part.
+type partSeg struct {
+	part   int
+	lo, hi int
+	inOff  int64
+}
+
+// segments maps a logical [off, off+len(buf)) read onto the version's parts.
+func (fr *fileReader) segments(buf []byte, off int64) []partSeg {
+	var segs []partSeg
 	read := 0
 	partStart := int64(0)
 	for i := range fr.entry.Parts {
 		plen := fr.partLen(i)
 		if off+int64(read) < partStart+plen && read < len(buf) {
-			src, err := fr.source(p, i)
-			if err != nil {
-				return read, err
-			}
 			inOff := off + int64(read) - partStart
 			want := plen - inOff
 			if want > int64(len(buf)-read) {
 				want = int64(len(buf) - read)
 			}
-			n, err := src.rd.ReadAt(p, buf[read:read+int(want)], inOff)
-			read += n
-			if err != nil {
-				return read, err
-			}
-			if int64(n) < want {
-				break
-			}
+			segs = append(segs, partSeg{part: i, lo: read, hi: read + int(want), inOff: inOff})
+			read += int(want)
 		}
 		partStart += plen
 	}
+	return segs
+}
+
+// readAt maps a logical file offset across the version's parts. Requests
+// spanning several parts resolve and read them concurrently (split files land
+// on distinct discs, so the group aggregates their bandwidth) unless
+// SerialRead pins the legacy one-at-a-time walk.
+func (fr *fileReader) readAt(p *sim.Proc, buf []byte, off int64) (int, error) {
+	if off >= fr.entry.Size || len(buf) == 0 {
+		return 0, nil
+	}
+	segs := fr.segments(buf, off)
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	if len(segs) == 1 || fr.fs.cfg.SerialRead {
+		return fr.readSegsSerial(p, buf, segs)
+	}
+	return fr.readSegsParallel(p, buf, segs)
+}
+
+// readSegsSerial reads the segments in order on the calling proc. A short
+// read on any segment but the last under-fills the buffer, which is an error,
+// not an EOF (the index said the bytes exist).
+func (fr *fileReader) readSegsSerial(p *sim.Proc, buf []byte, segs []partSeg) (int, error) {
+	read := 0
+	for k, s := range segs {
+		n, err := fr.readSeg(p, buf, s)
+		read = s.lo + n
+		if err != nil {
+			return read, err
+		}
+		if s.lo+n < s.hi {
+			if k < len(segs)-1 {
+				return read, io.ErrUnexpectedEOF
+			}
+			break
+		}
+	}
 	return read, nil
+}
+
+// readSegsParallel fans one child proc out per segment, bounded by the drive
+// group width. The returned count is the contiguous prefix filled from
+// buf[segs[0].lo:], with the first in-order error.
+func (fr *fileReader) readSegsParallel(p *sim.Proc, buf []byte, segs []partSeg) (int, error) {
+	fs := fr.fs
+	env := fs.env
+	tctx := p.TraceContext()
+	// The per-group read slots meter drive access; this semaphore only keeps
+	// the proc fan-out itself bounded for requests spanning many trays.
+	sem := sim.NewResource(env, rack.DrivesPerGroup)
+	type segRes struct {
+		n   int
+		err error
+	}
+	comps := make([]*sim.Completion[segRes], len(segs))
+	for k := range segs {
+		s := segs[k]
+		c := sim.NewCompletion[segRes](env)
+		comps[k] = c
+		env.Go(fmt.Sprintf("olfs-pread-p%d", s.part), func(cp *sim.Proc) {
+			cp.SetTraceContext(tctx)
+			defer cp.SetTraceContext(nil)
+			sem.Acquire(cp)
+			defer sem.Release()
+			sp := obs.StartChild(cp, "olfs.read.part")
+			sp.Annotate("part", fmt.Sprintf("%d", s.part))
+			n, err := fr.readSeg(cp, buf, s)
+			sp.Fail(cp, err)
+			c.Resolve(segRes{n: n, err: err}, nil)
+		})
+	}
+	ns := make([]int, len(segs))
+	errs := make([]error, len(segs))
+	for k, c := range comps {
+		r, _ := c.Wait(p)
+		ns[k], errs[k] = r.n, r.err
+	}
+	read := 0
+	for k, s := range segs {
+		read = s.lo + ns[k]
+		if errs[k] != nil {
+			return read, errs[k]
+		}
+		if s.lo+ns[k] < s.hi {
+			if k < len(segs)-1 {
+				return read, io.ErrUnexpectedEOF
+			}
+			break
+		}
+	}
+	return read, nil
+}
+
+// readSeg resolves one segment's source and reads it. Disc-backed reads pin
+// the tray (so the slot wait cannot race an eviction of the very tray the
+// validated source points at) and pass through the scheduler's per-group
+// read slots.
+func (fr *fileReader) readSeg(p *sim.Proc, buf []byte, s partSeg) (int, error) {
+	src, err := fr.source(p, s.part)
+	if err != nil {
+		return 0, err
+	}
+	if src.group < 0 {
+		return src.rd.ReadAt(p, buf[s.lo:s.hi], s.inOff)
+	}
+	fs := fr.fs
+	fs.sched.Pin(src.tray)
+	defer fs.sched.Unpin(src.tray)
+	fs.sched.AcquireReadSlot(p, sched.Interactive, src.group)
+	defer fs.sched.ReleaseReadSlot(src.group)
+	return src.rd.ReadAt(p, buf[s.lo:s.hi], s.inOff)
 }
 
 // partLen returns part i's byte length.
@@ -162,25 +292,116 @@ func (fr *fileReader) partLen(i int) int64 {
 	return fr.entry.Size
 }
 
+// sourceValid reports whether a cached source still points at the data it was
+// resolved against: disc sources die with their group epoch (tray evicted),
+// buffer sources die when the bucket slot is recycled or re-imaged.
+func (fs *FS) sourceValid(s *partSource) bool {
+	if s.group >= 0 {
+		return fs.groupEpoch[s.group] == s.epoch
+	}
+	b, ok := fs.Buckets.Resident(s.id)
+	return ok && !b.Raw && b.Vol == s.vol
+}
+
 // source resolves part i to a readable UDF file, walking the Table 1 tier
 // ladder: buffer-resident bucket/image -> disc already in a drive -> disc
-// array fetched from the roller.
+// array fetched from the roller. Cached sources are re-validated on every
+// call; a source invalidated by tray eviction is transparently re-resolved
+// (the bugfix for stale read handles).
 func (fr *fileReader) source(p *sim.Proc, i int) (*partSource, error) {
-	if fr.sources[i] != nil {
-		return fr.sources[i], nil
-	}
 	fs := fr.fs
-	vol, err := fs.mountImage(p, fr.entry.Parts[i])
-	if err != nil {
-		return nil, err
+	if s := fr.sources[i]; s != nil {
+		if fs.sourceValid(s) {
+			return s, nil
+		}
+		fr.sources[i] = nil
+		fs.m.staleSources.Add(1)
 	}
-	rd, err := vol.OpenReader(p, internalName(fr.path, fr.entry.Version))
-	if err != nil {
-		return nil, err
+	name := internalName(fr.path, fr.entry.Version)
+	var err error
+	for try := 0; try < maxSourceRetries; try++ {
+		var src *partSource
+		src, err = fs.resolveSource(p, fr.entry.Parts[i], name, fr.partLen(i))
+		if err != nil {
+			if errors.Is(err, errStaleSource) {
+				fs.m.staleSources.Add(1)
+				continue
+			}
+			return nil, err
+		}
+		if !fs.sourceValid(src) {
+			fs.m.staleSources.Add(1)
+			continue
+		}
+		fr.sources[i] = src
+		return src, nil
 	}
-	src := &partSource{rd: rd, len: fr.partLen(i)}
-	fr.sources[i] = src
-	return src, nil
+	if err == nil {
+		err = errStaleSource
+	}
+	return nil, fmt.Errorf("olfs: part %d kept losing the eviction race: %w", i, err)
+}
+
+// resolveSource mounts image id and opens name in it, returning the source
+// stamped with its location. The tray is pinned for the whole disc path so
+// the eviction window closes between the group lookup and the UDF open.
+func (fs *FS) resolveSource(p *sim.Proc, id image.ID, name string, plen int64) (*partSource, error) {
+	// Tier 1/2: buffer-resident bucket or image (Table 1 rows 1-2).
+	if b, ok := fs.Buckets.Resident(id); ok && !b.Raw {
+		fs.Buckets.Touch(b)
+		fs.m.cacheHits.Add(1)
+		rd, err := b.Vol.OpenReader(p, name)
+		if err != nil {
+			return nil, err
+		}
+		return &partSource{rd: rd, len: plen, id: id, vol: b.Vol, group: -1}, nil
+	}
+	fs.m.cacheMisses.Add(1)
+	// Tier 3/4: on disc.
+	addr, ok := fs.Cat.Locate(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: image %s", ErrPartMissing, id)
+	}
+	fs.sched.Pin(addr.Tray)
+	defer fs.sched.Unpin(addr.Tray)
+	gi := fs.groupHolding(addr.Tray)
+	if gi < 0 {
+		var err error
+		gi, err = fs.fetchTray(p, addr.Tray, sched.Interactive)
+		if err != nil {
+			return nil, err
+		}
+	}
+	epoch := fs.groupEpoch[gi]
+	drv := fs.lib.Groups[gi].Drives[addr.Pos]
+	vol, err := fs.mountDrive(p, gi, drv)
+	if err == nil {
+		var rd *udf.Reader
+		rd, err = vol.OpenReader(p, name)
+		if err == nil {
+			return &partSource{
+				rd: rd, len: plen, id: id, vol: vol,
+				group: gi, epoch: epoch, tray: addr.Tray,
+			}, nil
+		}
+	}
+	if fs.groupEpoch[gi] != epoch {
+		// The failure raced an in-flight eviction that was already past the
+		// demand check when we pinned; retryable.
+		return nil, fmt.Errorf("%w: %v", errStaleSource, err)
+	}
+	return nil, err
+}
+
+// groupHolding returns the index of the group whose loaded tray is tray, or
+// -1 (Table 1 row 3: "disc in optical drive", 0.223 s).
+func (fs *FS) groupHolding(tray rack.TrayID) int {
+	for gi, g := range fs.lib.Groups {
+		if g.Source != nil && *g.Source == tray {
+			return gi
+		}
+	}
+	return -1
 }
 
 // mountImage makes image id readable: from the buffer (RC hit) or from a
@@ -198,48 +419,52 @@ func (fs *FS) mountImage(p *sim.Proc, id image.ID) (*udf.Volume, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: image %s", ErrPartMissing, id)
 	}
-	drv, err := fs.driveForDisc(p, addr)
+	gi, drv, err := fs.driveForDisc(p, addr)
 	if err != nil {
 		return nil, err
 	}
-	return fs.mountDrive(p, drv)
+	return fs.mountDrive(p, gi, drv)
 }
 
 // driveForDisc returns a drive holding the disc at addr, invoking the FTM
 // when the array is still in the roller.
-func (fs *FS) driveForDisc(p *sim.Proc, addr image.DiscAddr) (*optical.Drive, error) {
-	// Already loaded? (Table 1 row 3: "disc in optical drive", 0.223 s.)
-	for _, g := range fs.lib.Groups {
-		if g.Source != nil && *g.Source == addr.Tray {
-			return g.Drives[addr.Pos], nil
-		}
+func (fs *FS) driveForDisc(p *sim.Proc, addr image.DiscAddr) (int, *optical.Drive, error) {
+	if gi := fs.groupHolding(addr.Tray); gi >= 0 {
+		return gi, fs.lib.Groups[gi].Drives[addr.Pos], nil
 	}
 	gi, err := fs.fetchTray(p, addr.Tray, sched.Interactive)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	return fs.lib.Groups[gi].Drives[addr.Pos], nil
+	return gi, fs.lib.Groups[gi].Drives[addr.Pos], nil
 }
 
 // mountDrive mounts the disc in drv into the local VFS (§5.4: ~220 ms,
-// charged once per inserted disc).
-func (fs *FS) mountDrive(p *sim.Proc, drv *optical.Drive) (*udf.Volume, error) {
+// charged once per inserted disc). The mount is cached only if the group's
+// epoch is unchanged across the mount delay, so an eviction racing the sleep
+// cannot resurrect a stale fs.mounted entry after unmountGroup cleared it.
+func (fs *FS) mountDrive(p *sim.Proc, gi int, drv *optical.Drive) (*udf.Volume, error) {
 	if v, ok := fs.mounted[drv]; ok {
 		return v, nil
 	}
+	epoch := fs.groupEpoch[gi]
 	p.Sleep(fs.cfg.VFSMountTime)
 	vol, err := udf.Open(p, optical.ImageView{Drive: drv})
 	if err != nil {
 		return nil, err
 	}
-	fs.mounted[drv] = vol
+	if fs.groupEpoch[gi] == epoch {
+		fs.mounted[drv] = vol
+	}
 	return vol, nil
 }
 
-// unmountGroup forgets mounts for all drives of a group (called before the
-// array is unloaded).
-func (fs *FS) unmountGroup(g *rack.DriveGroup) {
-	for _, d := range g.Drives {
+// unmountGroup forgets mounts for all drives of a group and advances its
+// validity epoch, invalidating every fileReader source resolved against the
+// outgoing tray (called before the array is unloaded).
+func (fs *FS) unmountGroup(gi int) {
+	fs.groupEpoch[gi]++
+	for _, d := range fs.lib.Groups[gi].Drives {
 		delete(fs.mounted, d)
 	}
 }

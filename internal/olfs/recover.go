@@ -92,7 +92,7 @@ func (fs *FS) RecoverNamespace(p *sim.Proc, trays []rack.TrayID) error {
 			c := sim.NewCompletion[error](fs.env)
 			comps = append(comps, c)
 			fs.env.Go("scan", func(sp *sim.Proc) {
-				c.Resolve(nil, fs.scanDisc(sp, drv, image.DiscAddr{Tray: tray, Pos: pos}, files, dirs, snapParts, &bestSnap))
+				c.Resolve(nil, fs.scanDisc(sp, gi, drv, image.DiscAddr{Tray: tray, Pos: pos}, files, dirs, snapParts, &bestSnap))
 			})
 		}
 		for _, c := range comps {
@@ -176,10 +176,10 @@ func (fs *FS) restoreFromMV(restored *mv.Volume) {
 
 // scanDisc mounts one disc and walks its self-descriptive subtree, charging
 // real drive-read time for every directory and entry block touched.
-func (fs *FS) scanDisc(p *sim.Proc, drv *optical.Drive, addr image.DiscAddr,
+func (fs *FS) scanDisc(p *sim.Proc, gi int, drv *optical.Drive, addr image.DiscAddr,
 	files map[string]map[string]*scannedFile, dirs map[string]bool,
 	snapParts map[string][]byte, bestSnap *string) error {
-	vol, err := fs.mountDrive(p, drv)
+	vol, err := fs.mountDrive(p, gi, drv)
 	if err != nil {
 		return err
 	}

@@ -44,12 +44,25 @@ func (fs *FS) trayLayout(onTray map[int]image.ID) (dataN int, parityPos []int) {
 	return len(onTray) - fs.cfg.ParityDiscs, nil
 }
 
-// trayBackends fetches the tray and returns the per-position image views and
-// payload length.
-func (fs *FS) trayBackends(p *sim.Proc, tray rack.TrayID) ([]image.Backend, map[int]image.ID, int64, error) {
+// readGate adapts the scheduler's per-group read slots to image.Gate, so
+// parallel scrub/recover strip crews are admitted chunk-by-chunk and cannot
+// starve interactive readers of the same drive group.
+type readGate struct {
+	s     *sched.Scheduler
+	class sched.Class
+	gi    int
+}
+
+func (g readGate) Acquire(p *sim.Proc) { g.s.AcquireReadSlot(p, g.class, g.gi) }
+func (g readGate) Release()            { g.s.ReleaseReadSlot(g.gi) }
+
+// trayBackends fetches the tray and returns the holding group's index, the
+// per-position image views and payload length. Callers should Pin the tray
+// first so the group assignment stays valid for the whole maintenance op.
+func (fs *FS) trayBackends(p *sim.Proc, tray rack.TrayID) (int, []image.Backend, map[int]image.ID, int64, error) {
 	gi, err := fs.fetchTray(p, tray, sched.Scrub)
 	if err != nil {
-		return nil, nil, 0, err
+		return 0, nil, nil, 0, err
 	}
 	g := fs.lib.Groups[gi]
 	onTray := fs.Cat.ImagesOnTray(tray)
@@ -66,7 +79,7 @@ func (fs *FS) trayBackends(p *sim.Proc, tray rack.TrayID) ([]image.Backend, map[
 	if length == 0 {
 		length = udf.BlockSize
 	}
-	return backends, onTray, length, nil
+	return gi, backends, onTray, length, nil
 }
 
 // ScrubTray verifies cross-disc parity for a burned tray, reading every disc
@@ -79,7 +92,9 @@ func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (rep ScrubReport, err err
 	if fs.Cat.DAState(tray) != image.DAUsed {
 		return rep, fmt.Errorf("olfs: tray %v is not a burned array", tray)
 	}
-	backends, onTray, length, err := fs.trayBackends(p, tray)
+	fs.sched.Pin(tray)
+	defer fs.sched.Unpin(tray)
+	gi, backends, onTray, length, err := fs.trayBackends(p, tray)
 	if err != nil {
 		return rep, err
 	}
@@ -107,7 +122,13 @@ func (fs *FS) ScrubTray(p *sim.Proc, tray rack.TrayID) (rep ScrubReport, err err
 		vsp.Fail(p, ferr)
 		return rep, ferr
 	}
-	bad, err := image.VerifyParity(p, data, parity, length)
+	var bad []int64
+	if fs.cfg.SerialRead {
+		bad, err = image.VerifyParity(p, data, parity, length)
+	} else {
+		bad, err = image.VerifyParityParallel(p, data, parity, length,
+			readGate{s: fs.sched, class: sched.Scrub, gi: gi})
+	}
 	if err != nil {
 		vsp.Fail(p, err)
 		return rep, err
@@ -133,7 +154,9 @@ func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err err
 	if !ok {
 		return nil, fmt.Errorf("%w: image %s not on disc", ErrPartMissing, id)
 	}
-	backends, onTray, length, err := fs.trayBackends(p, addr.Tray)
+	fs.sched.Pin(addr.Tray)
+	defer fs.sched.Unpin(addr.Tray)
+	gi, backends, onTray, length, err := fs.trayBackends(p, addr.Tray)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +184,18 @@ func (fs *FS) RecoverImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err err
 	}
 	out := make([]image.Backend, dataN)
 	out[addr.Pos] = nb.Backend()
-	if err := image.Recover(p, data, parity, out, length); err != nil {
+	if fs.cfg.SerialRead {
+		err = image.Recover(p, data, parity, out, length)
+	} else {
+		// The lost disc is usually readable outside its failed sectors:
+		// hand its direct view to the sector-granular fallback so stripes
+		// with non-aligned LSEs across discs still recover.
+		shadow := make([]image.Backend, dataN)
+		shadow[addr.Pos] = backends[addr.Pos]
+		err = image.RecoverParallel(p, data, shadow, parity, out, length,
+			readGate{s: fs.sched, class: sched.Scrub, gi: gi})
+	}
+	if err != nil {
 		_ = fs.Buckets.Discard(nb)
 		return nil, err
 	}
@@ -193,6 +227,8 @@ func (fs *FS) migrateImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err err
 	if !ok {
 		return nil, fmt.Errorf("%w: image %s not on disc", ErrPartMissing, id)
 	}
+	fs.sched.Pin(addr.Tray)
+	defer fs.sched.Unpin(addr.Tray)
 	gi, err := fs.fetchTray(p, addr.Tray, sched.Scrub)
 	if err != nil {
 		return nil, err
@@ -236,7 +272,9 @@ func (fs *FS) migrateImage(p *sim.Proc, id image.ID) (nb *bucket.Bucket, err err
 // RegenerateParity rebuilds a tray's parity image(s) in the buffer from its
 // surviving data discs (for re-burning after parity-disc loss).
 func (fs *FS) RegenerateParity(p *sim.Proc, tray rack.TrayID) ([]*bucket.Bucket, error) {
-	backends, onTray, length, err := fs.trayBackends(p, tray)
+	fs.sched.Pin(tray)
+	defer fs.sched.Unpin(tray)
+	_, backends, onTray, length, err := fs.trayBackends(p, tray)
 	if err != nil {
 		return nil, err
 	}

@@ -44,7 +44,11 @@ func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (rep RepairReport, e
 	if len(scrub.BadStrips) == 0 {
 		return rep, nil
 	}
-	// Probe each disc at the bad strips to find the failing positions.
+	// Probe each disc at the bad strips to find the failing positions. The
+	// tray stays pinned across the probes so a concurrent fetch cannot swap
+	// it out between positions.
+	fs.sched.Pin(tray)
+	defer fs.sched.Unpin(tray)
 	gi, err := fs.fetchTray(p, tray, sched.Scrub)
 	if err != nil {
 		return rep, err
@@ -52,28 +56,48 @@ func (fs *FS) ScrubAndRepair(p *sim.Proc, tray rack.TrayID) (rep RepairReport, e
 	g := fs.lib.Groups[gi]
 	onTray := fs.Cat.ImagesOnTray(tray)
 	// Probe whole strips: a latent sector error can sit anywhere inside the
-	// 1 MB strip that failed verification.
+	// 1 MB strip that failed verification. All positions probe concurrently
+	// (their discs sit in distinct drives), each admitted through the
+	// group's read slots at scrub class.
 	const stripLen = 1 << 20
-	probe := make([]byte, stripLen)
+	badAt := make([]bool, len(g.Drives))
+	tctx := p.TraceContext()
+	var comps []*sim.Completion[struct{}]
 	for pos := 0; pos < len(g.Drives); pos++ {
 		if _, ok := onTray[pos]; !ok {
 			continue
 		}
-		view := optical.ImageView{Drive: g.Drives[pos]}
-		bad := false
-		for _, off := range scrub.BadStrips {
-			n := int64(stripLen)
-			if off+n > rep.Scrub.Checked {
-				n = rep.Scrub.Checked - off
+		pos := pos
+		c := sim.NewCompletion[struct{}](fs.env)
+		comps = append(comps, c)
+		fs.env.Go(fmt.Sprintf("scrub-probe-d%d", pos), func(pp *sim.Proc) {
+			pp.SetTraceContext(tctx)
+			defer pp.SetTraceContext(nil)
+			view := optical.ImageView{Drive: g.Drives[pos]}
+			probe := make([]byte, stripLen)
+			for _, off := range scrub.BadStrips {
+				n := int64(stripLen)
+				if off+n > rep.Scrub.Checked {
+					n = rep.Scrub.Checked - off
+				}
+				if n <= 0 {
+					continue
+				}
+				fs.sched.AcquireReadSlot(pp, sched.Scrub, gi)
+				rerr := view.ReadAt(pp, probe[:n], off)
+				fs.sched.ReleaseReadSlot(gi)
+				if rerr != nil {
+					badAt[pos] = true
+					break
+				}
 			}
-			if n <= 0 {
-				continue
-			}
-			if err := view.ReadAt(p, probe[:n], off); err != nil {
-				bad = true
-				break
-			}
-		}
+			c.Resolve(struct{}{}, nil)
+		})
+	}
+	for _, c := range comps {
+		c.Wait(p)
+	}
+	for pos, bad := range badAt {
 		if bad {
 			rep.BadDiscs = append(rep.BadDiscs, pos)
 		}

@@ -217,7 +217,7 @@ func (fs *FS) runBurnTask(p *sim.Proc, t *burnTask) {
 		}
 	}
 
-	fs.unmountGroup(g)
+	fs.unmountGroup(gi)
 	unloadErr := fs.lib.UnloadArray(p, gi, nil)
 	fs.sched.Release(gi)
 	if unloadErr != nil && firstErr == nil {
@@ -357,9 +357,8 @@ func (fs *FS) failBurn(p *sim.Proc, t *burnTask, err error) {
 func (fs *FS) acquireGroupForBurn(p *sim.Proc, tray rack.TrayID) (int, error) {
 	g := fs.sched.AcquireBurn(p, tray)
 	gi := g.Group
-	grp := fs.lib.Groups[gi]
 	if g.Evict {
-		fs.unmountGroup(grp)
+		fs.unmountGroup(gi)
 		if err := fs.lib.UnloadArray(p, gi, nil); err != nil {
 			fs.sched.Release(gi)
 			return 0, err
@@ -395,7 +394,7 @@ func (fs *FS) PrefetchTray(p *sim.Proc, tray rack.TrayID, gi int) error {
 		if og.AnyBurning() || !fs.sched.TryClaim(ogi) {
 			return fmt.Errorf("olfs: tray %v pinned in busy group %d", tray, ogi)
 		}
-		fs.unmountGroup(og)
+		fs.unmountGroup(ogi)
 		err := fs.lib.UnloadArray(p, ogi, nil)
 		fs.sched.Release(ogi)
 		if err != nil {
@@ -403,7 +402,7 @@ func (fs *FS) PrefetchTray(p *sim.Proc, tray rack.TrayID, gi int) error {
 		}
 	}
 	if g.Loaded() {
-		fs.unmountGroup(g)
+		fs.unmountGroup(gi)
 		if err := fs.lib.UnloadArray(p, gi, nil); err != nil {
 			return err
 		}
@@ -424,6 +423,7 @@ func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID, class sched.Class) (gi in
 	key := tray.String()
 	fs.sched.Pin(tray)
 	defer fs.sched.Unpin(tray)
+	joinFails := 0
 	for {
 		// Already loaded?
 		for gi, g := range fs.lib.Groups {
@@ -436,7 +436,15 @@ func (fs *FS) fetchTray(p *sim.Proc, tray rack.TrayID, class sched.Class) (gi in
 			fs.fetchJoins[key]++
 			fs.m.coalesced.Add(1)
 			if _, err := c.Wait(p); err != nil {
-				return 0, err
+				// The winner's mechanical load failed, but that error is the
+				// winner's, not ours: a fresh caller would simply try the
+				// fetch itself. Loop once more and become (or join) the next
+				// winner; give up only if that attempt fails too.
+				joinFails++
+				if joinFails > 1 {
+					return 0, err
+				}
+				fs.m.joinRetries.Add(1)
 			}
 			continue
 		}
@@ -466,11 +474,10 @@ func (fs *FS) runFetch(p *sim.Proc, tray rack.TrayID, class sched.Class) (int, e
 		// Another task loaded the tray while we were queued.
 		return gi, nil
 	}
-	grp := fs.lib.Groups[gi]
 	var err error
 	if g.Evict {
 		// Table 1 row 5, ~155 s: unload the victim, then load.
-		fs.unmountGroup(grp)
+		fs.unmountGroup(gi)
 		err = fs.lib.UnloadArray(p, gi, nil)
 	}
 	if err == nil {

@@ -562,6 +562,15 @@ func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 	t += time.Duration(float64(len(buf)) / rate * float64(time.Second))
 	p.Sleep(t)
 	dr.sharer.activeRead--
+	if dr.disc == nil {
+		// The robotic arm ejects mechanically, without taking the drive's
+		// busy lock, so a tray swap can land mid-transfer. Surface a typed
+		// error instead of dereferencing the vanished disc; the mount layer
+		// re-resolves the handle against the tray's new location.
+		err := fmt.Errorf("%w: %s (disc ejected mid-read)", ErrNoDisc, dr.ID)
+		sp.Fail(p, err)
+		return err
+	}
 	dr.head = off + int64(len(buf))
 	dr.BytesRead += int64(len(buf))
 	dr.m.bytesRead.Add(int64(len(buf)))
@@ -573,7 +582,13 @@ func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 		dr.disc.Fail()
 	}
 	if err := faultinject.Check(p, faultinject.PointMediaLSE, dr.disc.ID); err != nil {
-		dr.disc.CorruptSector(off)
+		// The head sweeps [off, off+len) during the transfer, so the latent
+		// error can develop anywhere in the range. Derive the sector from the
+		// disc identity: lockstep parity crews read identical offsets on every
+		// column at once, and anchoring the LSE to the read's start would make
+		// concurrent injections land on the same sector of different discs —
+		// manufacturing beyond-redundancy loss out of independent faults.
+		dr.disc.CorruptSector(off + lseOffset(dr.disc.ID, len(buf)))
 	}
 	err := faultinject.Check(p, faultinject.PointOpticalRead, dr.ID)
 	if err == nil {
@@ -581,6 +596,23 @@ func (dr *Drive) ReadAt(p *sim.Proc, buf []byte, off int64) error {
 	}
 	sp.Fail(p, err)
 	return err
+}
+
+// lseOffset places an injected latent sector error within an n-byte read,
+// keyed on the disc identity (FNV-1a) so distinct discs develop errors at
+// distinct sectors even when read in lockstep. Deterministic, so campaign
+// replay is preserved.
+func lseOffset(id string, n int) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	sectors := int64(n) / SectorSize
+	if sectors <= 1 {
+		return 0
+	}
+	return int64(h%uint64(sectors)) * SectorSize
 }
 
 // ImageView presents the loaded disc's image as one contiguous byte range

@@ -181,6 +181,18 @@ type Scheduler struct {
 	// the interrupt-burn policy here.
 	starved func()
 
+	// Read-slot admission: per-group concurrent strip-reader capacity (one
+	// slot per drive). Parallel scrub/recover crews acquire a slot per chunk
+	// and release it between chunks, so a queued interactive reader is
+	// granted within about one chunk instead of waiting out a whole tray
+	// scan. Under qos-scan, waiting readers are granted by class priority
+	// with aging; under fifo, in arrival order (which still bounds the wait
+	// to one chunk, since crews re-enqueue behind earlier waiters).
+	readUsed []int
+	readCap  []int
+	readWait [][]*readWaiter
+	readSeq  int64
+
 	obs        *obs.Registry
 	depthGauge *obs.Gauge
 	depthBy    [NumClasses]*obs.Gauge
@@ -190,6 +202,16 @@ type Scheduler struct {
 	evictSkips *obs.Counter
 	travel     *obs.Counter
 	starveKick *obs.Counter
+	readPar    *obs.Gauge     // read.parallelism: strip readers holding a slot
+	stripWait  *obs.Histogram // read.strip_wait: time from slot request to grant
+}
+
+// readWaiter is one parked strip reader waiting for a group read slot.
+type readWaiter struct {
+	class Class
+	enq   time.Duration
+	seq   int64
+	c     *sim.Completion[struct{}]
 }
 
 // New creates a scheduler over lib. Metrics are registered under sched.*
@@ -205,7 +227,13 @@ func New(env *sim.Env, cfg Config, lib *rack.Library) *Scheduler {
 		demand:    make(map[string]int),
 		scanDir:   make([]int, len(lib.Rollers)),
 		lastLayer: make([]int, len(lib.Rollers)),
+		readUsed:  make([]int, len(lib.Groups)),
+		readCap:   make([]int, len(lib.Groups)),
+		readWait:  make([][]*readWaiter, len(lib.Groups)),
 		obs:       cfg.Obs,
+	}
+	for gi, g := range lib.Groups {
+		s.readCap[gi] = len(g.Drives)
 	}
 	for ri := range lib.Rollers {
 		s.scanDir[ri] = -1 // the arm starts atop the drives; natural direction is down
@@ -222,7 +250,79 @@ func New(env *sim.Env, cfg Config, lib *rack.Library) *Scheduler {
 	s.evictSkips = r.Counter("sched.eviction_skips_demand")
 	s.travel = r.Counter("sched.arm_travel_layers")
 	s.starveKick = r.Counter("sched.starvation_kicks")
+	s.readPar = r.Gauge("read.parallelism")
+	s.stripWait = r.Histogram("read.strip_wait")
 	return s
+}
+
+// AcquireReadSlot admits one strip reader onto drive group gi, blocking
+// while all of the group's slots (one per drive) are held. Crews release and
+// re-acquire between chunks, so an interactive reader queued here is granted
+// within roughly one chunk-read even when a full-width scrub is in flight.
+func (s *Scheduler) AcquireReadSlot(p *sim.Proc, class Class, gi int) {
+	if gi < 0 || gi >= len(s.readUsed) {
+		return
+	}
+	enq := s.env.Now()
+	if s.readUsed[gi] < s.readCap[gi] {
+		s.readUsed[gi]++
+		s.readPar.Add(1)
+		s.stripWait.Observe(0)
+		return
+	}
+	s.readSeq++
+	w := &readWaiter{class: class, enq: enq, seq: s.readSeq,
+		c: sim.NewCompletion[struct{}](s.env)}
+	s.readWait[gi] = append(s.readWait[gi], w)
+	w.c.Wait(p)
+	s.stripWait.ObserveSince(enq, s.env.Now())
+}
+
+// ReleaseReadSlot returns a strip-reader slot to group gi and hands it to
+// the best waiter, if any.
+func (s *Scheduler) ReleaseReadSlot(gi int) {
+	if gi < 0 || gi >= len(s.readUsed) {
+		return
+	}
+	if s.readUsed[gi] <= 0 {
+		panic(fmt.Sprintf("sched: ReleaseReadSlot of unheld slot in group %d", gi))
+	}
+	if w := s.takeReadWaiter(gi); w != nil {
+		// Slot transfers directly; readUsed and the gauge are unchanged.
+		w.c.Resolve(struct{}{}, nil)
+		return
+	}
+	s.readUsed[gi]--
+	s.readPar.Add(-1)
+}
+
+// takeReadWaiter removes and returns the next read-slot waiter for group gi:
+// arrival order under fifo, highest effective class priority (with aging,
+// ties by arrival) under qos-scan.
+func (s *Scheduler) takeReadWaiter(gi int) *readWaiter {
+	q := s.readWait[gi]
+	if len(q) == 0 {
+		return nil
+	}
+	best := 0
+	if s.cfg.Policy != PolicyFIFO {
+		now := s.env.Now()
+		prio := func(w *readWaiter) int {
+			pr := s.cfg.Weights[w.class]
+			if s.cfg.AgingStep > 0 {
+				pr += int((now - w.enq) / s.cfg.AgingStep)
+			}
+			return pr
+		}
+		for i := 1; i < len(q); i++ {
+			if prio(q[i]) > prio(q[best]) {
+				best = i
+			}
+		}
+	}
+	w := q[best]
+	s.readWait[gi] = append(q[:best], q[best+1:]...)
+	return w
 }
 
 // Config returns the effective configuration.
