@@ -17,6 +17,13 @@
 //
 //	rosbench -chaos -seed 7
 //	rosbench -chaos -seed 7 -faults 'optical.read:p=0.05;media.lse:once'
+//	rosbench -chaos -seed 11 -racks 3          # federation campaign
+//
+// Cluster mode runs the multi-rack federation scaling experiment (1/2/4
+// racks, degraded-rack and offline-primary read p95):
+//
+//	rosbench -cluster
+//	rosbench -cluster -json BENCH_PR8.json
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"ros"
 	"ros/internal/chaos"
 	"ros/internal/experiments"
 )
@@ -63,6 +71,7 @@ var registry = map[string]func() (experiments.Result, error){
 	"ablate-sched":       experiments.AblationScheduler,
 	"ablate-pread":       experiments.AblationParallelRead,
 	"sustained":          experiments.SustainedIngest,
+	"cluster-failover":   experiments.ClusterFailover,
 }
 
 func main() {
@@ -76,11 +85,21 @@ func main() {
 	faults := flag.String("faults", "", "chaos: fault spec (default mix if empty, 'none' to disable)")
 	workers := flag.Int("workers", 0, "chaos: concurrent workload processes (default 3)")
 	ops := flag.Int("ops", 0, "chaos: operations per worker (default 40)")
+	clusterMode := flag.Bool("cluster", false, "shorthand for -exp cluster-failover (multi-rack scaling run)")
+	clusterRacks := flag.Int("racks", 0, "chaos: federate this many racks (cluster campaign)")
 	flag.Parse()
+	if *clusterMode {
+		exps = append(exps, "cluster-failover")
+	}
 
 	if *chaosMode {
+		var opts ros.Options
+		if *clusterRacks > 1 {
+			opts.Racks = *clusterRacks
+			opts.Replicas = 2
+		}
 		rep, err := chaos.Run(chaos.Config{
-			Seed: *seed, Faults: *faults, Workers: *workers, Ops: *ops,
+			Seed: *seed, Faults: *faults, Workers: *workers, Ops: *ops, Opts: opts,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chaos:", err)

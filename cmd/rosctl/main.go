@@ -36,19 +36,33 @@
 //	clock                   virtual time
 //	help / quit
 //
+// With -racks N (N > 1) the shell drives a multi-rack federation instead:
+// write/read route through the cluster namespace (replicated placement,
+// replica-aware reads) and the cluster command group appears:
+//
+//	cluster status [--json]   health, loads and backlog per rack
+//	cluster placement [<path>] placement policy and per-rack loads, or one
+//	                          file's replica set
+//	cluster kill <i>          mark rack i offline (triggers re-replication)
+//	cluster revive <i>        mark rack i up again
+//	cluster addrack           grow the federation by one rack (no relocation)
+//
 // A single command can also be given as arguments for scripting:
 //
-//	rosctl stats --json
+//	rosctl -racks 3 -replicas 2 cluster status
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
 	"ros"
+	"ros/internal/cluster"
 	"ros/internal/faultinject"
 	"ros/internal/image"
 	"ros/internal/obs"
@@ -60,6 +74,11 @@ import (
 )
 
 func main() {
+	racks := flag.Int("racks", 1, "federate this many racks (>1 enables the cluster layer)")
+	replicas := flag.Int("replicas", 0, "replicas per file in cluster mode (default min(2, racks))")
+	place := flag.String("place", "", "cluster placement policy: seqcheck (default) or hash")
+	flag.Parse()
+
 	// RecycleAfterBurn keeps burned buckets out of the read cache so a read
 	// after `burn` exercises the full mechanical chain — the interesting case
 	// for `trace show`.
@@ -67,17 +86,25 @@ func main() {
 		BucketBytes:     4 << 20,
 		DisableAutoBurn: true,
 		FS:              ros.FSConfig{RecycleAfterBurn: true},
+		Racks:           *racks,
+		Replicas:        *replicas,
+		PlacePolicy:     *place,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assemble:", err)
 		os.Exit(1)
 	}
-	if len(os.Args) > 1 {
+	if args := flag.Args(); len(args) > 0 {
 		// Single-command mode: run the argv command and exit.
-		runCommand(sys, os.Args[1:])
+		runCommand(sys, args)
 		return
 	}
-	fmt.Println("ROS maintenance interface — 1 roller, 6120 discs, 24 drives. 'help' for commands.")
+	if sys.Cluster != nil {
+		fmt.Printf("ROS maintenance interface — %d-rack federation, %d replica(s), %s placement. 'help' for commands.\n",
+			*racks, sys.Cluster.Replicas(), sys.Cluster.Policy())
+	} else {
+		fmt.Println("ROS maintenance interface — 1 roller, 6120 discs, 24 drives. 'help' for commands.")
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("ros> ")
@@ -112,6 +139,11 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 	switch fields[0] {
 	case "help":
 		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats trace faults power clock quit")
+		if sys.Cluster != nil {
+			fmt.Println("cluster status|placement|kill|revive|addrack")
+		}
+	case "cluster":
+		return clusterCommand(sys, p, fields[1:])
 	case "ingest":
 		// Direct-writing mode (§4.8): wire-speed staging, async delivery.
 		if len(fields) != 3 {
@@ -178,6 +210,14 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 			data[i] = byte(i*7 + 1)
 		}
 		start := p.Now()
+		if cl := sys.Cluster; cl != nil {
+			if err := cl.WriteFile(p, fields[1], data); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d bytes) to racks %v in %v\n",
+				fields[1], n, cl.ReplicasOf(fields[1]), p.Now()-start)
+			return nil
+		}
 		if err := fs.WriteFile(p, fields[1], data); err != nil {
 			return err
 		}
@@ -187,7 +227,15 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 			return fmt.Errorf("usage: read <path>")
 		}
 		start := p.Now()
-		data, err := fs.ReadFile(p, fields[1])
+		var (
+			data []byte
+			err  error
+		)
+		if sys.Cluster != nil {
+			data, err = sys.Cluster.ReadFile(p, fields[1])
+		} else {
+			data, err = fs.ReadFile(p, fields[1])
+		}
 		if err != nil {
 			return err
 		}
@@ -329,6 +377,73 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		fmt.Printf("  modeled draw: %.0f W (idle %.0f W, peak %.0f W)\n", draw, cfg.Idle(), cfg.Peak())
 	default:
 		return fmt.Errorf("unknown command %q (try help)", fields[0])
+	}
+	return nil
+}
+
+// clusterCommand implements the `cluster` group over the federation layer.
+func clusterCommand(sys *ros.System, p *sim.Proc, args []string) error {
+	cl := sys.Cluster
+	if cl == nil {
+		return fmt.Errorf("not a federation (rerun with -racks N, N > 1)")
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cluster status [--json] | placement [<path>] | kill <i> | revive <i> | addrack")
+	}
+	switch args[0] {
+	case "status":
+		st := cl.Status()
+		if len(args) > 1 && args[1] == "--json" {
+			js, err := json.MarshalIndent(st, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(js))
+			return nil
+		}
+		fmt.Printf("  policy=%s replicas=%d entries=%d backlog=%d imbalance=%.1f%%\n",
+			st.Policy, st.Replicas, st.Entries, st.Backlog, st.ImbalancePct)
+		for _, rs := range st.Racks {
+			fmt.Printf("  %-8s %-9s load=%-6d discs=%-5d tray-loads=%-4d burns=%d\n",
+				rs.Name, rs.Health, rs.Load, rs.Discs, rs.Loads, rs.Burns)
+		}
+	case "placement":
+		if len(args) > 1 {
+			set := cl.ReplicasOf(args[1])
+			if set == nil {
+				return fmt.Errorf("no placement recorded for %s", args[1])
+			}
+			fmt.Printf("  %s -> racks %v (primary rack%d)\n", args[1], set, set[0])
+			return nil
+		}
+		fmt.Printf("  policy=%s (reallocation-free: growth never moves an image)\n", cl.Policy())
+		for ri, load := range cl.Loads() {
+			fmt.Printf("  rack%d: %d replica(s) placed\n", ri, load)
+		}
+		fmt.Printf("  imbalance: %.1f%% worst deviation from mean\n", cl.ImbalancePct())
+	case "kill", "revive":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: cluster %s <rack-index>", args[0])
+		}
+		ri, err := strconv.Atoi(args[1])
+		if err != nil || ri < 0 || ri >= len(cl.Racks()) {
+			return fmt.Errorf("bad rack index %q (have %d racks)", args[1], len(cl.Racks()))
+		}
+		if args[0] == "kill" {
+			cl.SetHealth(ri, cluster.HealthOffline)
+			fmt.Printf("  rack%d marked offline; %d file(s) queued for re-replication\n", ri, cl.Backlog())
+		} else {
+			cl.SetHealth(ri, cluster.HealthUp)
+			fmt.Printf("  rack%d marked up\n", ri)
+		}
+	case "addrack":
+		r, err := cl.AddRack()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  added %s (%d racks now); existing placements untouched\n", r.Name, len(cl.Racks()))
+	default:
+		return fmt.Errorf("unknown cluster subcommand %q (status, placement, kill, revive, addrack)", args[0])
 	}
 	return nil
 }

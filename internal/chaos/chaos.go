@@ -20,6 +20,13 @@
 //     placed image lives on a Used tray), the observability layer must have
 //     no open spans, and stopping the system must leave no live or
 //     deadlocked simulation processes.
+//
+// With Opts.Racks > 1 the campaign targets the multi-rack federation instead:
+// writes, reads and handles route through the cluster namespace, the worker
+// mix gains a cross-rack failover op (write, kill the primary rack, read via
+// a replica, byte-compare), the heal phase probes rack health and drains the
+// re-replication backlog, and the oracle sweeps every rack's trays, catalog
+// and span ledger.
 package chaos
 
 import (
@@ -28,9 +35,12 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"ros"
+	"ros/internal/cluster"
 	"ros/internal/image"
+	"ros/internal/olfs"
 	"ros/internal/rack"
 	"ros/internal/sim"
 )
@@ -195,17 +205,25 @@ func Run(cfg Config) (*Report, error) {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("campaign process failed: %v", campaignErr))
 	}
 
-	// Shutdown invariant: stopping the FS and draining must leave a quiet,
-	// leak-free simulation.
-	sys.FS.Stop()
+	// Shutdown invariant: stopping the system (every rack of a federation)
+	// and draining must leave a quiet, leak-free simulation.
+	if sys.Cluster != nil {
+		sys.Cluster.Stop()
+	} else {
+		sys.FS.Stop()
+	}
 	sys.Env.Run()
 	if sys.Env.Deadlocked() {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("simulation deadlocked after stop (%d live procs)", sys.Env.Live()))
 	} else if live := sys.Env.Live(); live != 0 {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("process leak: %d live after stop+drain", live))
 	}
-	if open := sys.Obs.OpenSpans(); open != 0 {
-		rep.Violations = append(rep.Violations, fmt.Sprintf("span leak: %d open spans after stop", open))
+	// Each rack has its own registry (rack 0 shares the system's), so the
+	// span-leak check sweeps them all.
+	for ri, fs := range fileSystems(sys) {
+		if open := fs.Obs().OpenSpans(); open != 0 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("span leak: %d open spans after stop (rack %d)", open, ri))
+		}
 	}
 
 	for _, c := range sys.Obs.Snapshot().Counters {
@@ -225,7 +243,11 @@ func runWorkers(sys *ros.System, p *sim.Proc, cfg Config, rep *Report) [][]acked
 		wi := wi
 		done[wi] = sim.NewCompletion[int](sys.Env)
 		sys.Env.Go(fmt.Sprintf("chaos.w%d", wi), func(wp *sim.Proc) {
-			acked[wi] = worker(sys, wp, cfg, wi, rep)
+			if sys.Cluster != nil {
+				acked[wi] = clusterWorker(sys, wp, cfg, wi, rep)
+			} else {
+				acked[wi] = worker(sys, wp, cfg, wi, rep)
+			}
 			done[wi].Resolve(wi, nil)
 		})
 	}
@@ -341,43 +363,185 @@ func worker(sys *ros.System, p *sim.Proc, cfg Config, wi int, rep *Report) []ack
 	return mine
 }
 
+// clusterWorker is the federation op stream: the same invariants as worker,
+// but writes, reads and handles route through the cluster namespace (so they
+// land on replica sets and fail over), sync/burn/repair target a random rack,
+// and a cross-rack op deliberately kills a file's primary rack to prove the
+// read survives on a replica. The single-rack mix is untouched — cluster
+// campaigns have their own seeds.
+func clusterWorker(sys *ros.System, p *sim.Proc, cfg Config, wi int, rep *Report) []ackedFile {
+	cl := sys.Cluster
+	racks := cl.Racks()
+	rng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(wi)*104729 + 1))
+	var mine []ackedFile
+	seq := 0
+	for op := 0; op < cfg.Ops; op++ {
+		switch pick := rng.Intn(100); {
+		case pick < 40: // replicated write
+			rep.Ops["write"]++
+			path := fmt.Sprintf("/chaos/w%d/f%04d", wi, seq)
+			n := 1024 + rng.Intn(cfg.FileBytes-1023)
+			data := payload(n, cfg.Seed, wi, seq)
+			seq++
+			if err := cl.WriteFile(p, path, data); err != nil {
+				rep.OpErrors["write"]++
+				continue
+			}
+			mine = append(mine, ackedFile{path: path, data: data})
+		case pick < 62: // read via the cheapest live replica and verify
+			rep.Ops["read"]++
+			if len(mine) == 0 {
+				continue
+			}
+			f := mine[rng.Intn(len(mine))]
+			got, err := cl.ReadFile(p, f.path)
+			if err != nil {
+				rep.OpErrors["read"]++
+				continue
+			}
+			if !bytes.Equal(got, f.data) {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("mid-chaos corrupt cluster read of %s (%d bytes)", f.path, len(got)))
+			}
+		case pick < 70: // replica-aware handle straddling churn
+			rep.Ops["handle"]++
+			if len(mine) == 0 {
+				continue
+			}
+			f := mine[rng.Intn(len(mine))]
+			churn := mine[rng.Intn(len(mine))]
+			fr, err := cl.OpenFile(p, f.path)
+			if err != nil {
+				rep.OpErrors["handle"]++
+				continue
+			}
+			buf := make([]byte, len(f.data))
+			h := len(buf) / 2
+			n1, err1 := fr.ReadAt(p, buf[:h], 0)
+			_, _ = cl.ReadFile(p, churn.path) // churn errors are irrelevant
+			n2, err2 := fr.ReadAt(p, buf[h:], int64(h))
+			fr.Close(p)
+			if err1 != nil || err2 != nil || n1 < h || n2 < len(buf)-h {
+				rep.OpErrors["handle"]++
+				continue
+			}
+			if !bytes.Equal(buf, f.data) {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("stale cluster handle read of %s returned wrong bytes", f.path))
+			}
+		case pick < 78: // cross-rack failover: write, kill primary, read replica
+			rep.Ops["xrack"]++
+			path := fmt.Sprintf("/chaos/w%d/x%04d", wi, seq)
+			n := 1024 + rng.Intn(cfg.FileBytes-1023)
+			data := payload(n, cfg.Seed, wi, seq)
+			seq++
+			if err := cl.WriteFile(p, path, data); err != nil {
+				rep.OpErrors["xrack"]++
+				continue
+			}
+			mine = append(mine, ackedFile{path: path, data: data})
+			pri, ok := cl.PrimaryOf(path)
+			if !ok {
+				continue
+			}
+			cl.SetHealth(pri, cluster.HealthOffline)
+			got, err := cl.ReadFile(p, path)
+			cl.SetHealth(pri, cluster.HealthUp)
+			if err != nil {
+				// Another worker may have downed the surviving replica too;
+				// an error is tolerated, wrong bytes never are.
+				rep.OpErrors["xrack"]++
+				continue
+			}
+			if !bytes.Equal(got, data) {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("cross-rack failover read of %s returned wrong bytes", path))
+			}
+		case pick < 86: // metadata sync on a random rack
+			rep.Ops["sync"]++
+			if err := racks[rng.Intn(len(racks))].FS.Sync(p); err != nil {
+				rep.OpErrors["sync"]++
+			}
+		case pick < 93: // force a random rack's dirty buckets out to disc
+			rep.Ops["burn"]++
+			c, err := racks[rng.Intn(len(racks))].FS.FlushAndBurn(p)
+			if err != nil {
+				rep.OpErrors["burn"]++
+				continue
+			}
+			if _, err := c.Wait(p); err != nil {
+				rep.OpErrors["burn"]++
+			}
+		default: // scrub-and-repair a random used tray on a random rack
+			rep.Ops["repair"]++
+			fs := racks[rng.Intn(len(racks))].FS
+			trays := usedTrays(fs.Cat)
+			if len(trays) == 0 {
+				continue
+			}
+			rr, err := fs.ScrubAndRepair(p, trays[rng.Intn(len(trays))])
+			if err != nil {
+				rep.OpErrors["repair"]++
+				continue
+			}
+			if rr.ReBurn != nil {
+				if _, err := rr.ReBurn.Wait(p); err != nil {
+					rep.OpErrors["repair"]++
+				}
+			}
+		}
+	}
+	return mine
+}
+
 // maxHealRounds bounds the heal phase; with faults cleared each round only
 // has to chase damage left over from the previous one, so convergence is
 // fast — failing to converge is itself a violation.
 const maxHealRounds = 6
 
 // heal clears the fault plane, flushes everything to disc, and scrubs and
-// repairs used trays until a full pass finds no damage.
+// repairs used trays until a full pass finds no damage. In cluster mode it
+// first probes rack health (fault-driven offline states clear with the
+// plane), requeues under-replicated files, and drains the re-replication
+// backlog before the oracle holds reads to the durability contract.
 func heal(sys *ros.System, p *sim.Proc, rep *Report) {
 	sys.Faults.Clear()
-	if c, err := sys.FS.FlushAndBurn(p); err != nil {
-		rep.Violations = append(rep.Violations, fmt.Sprintf("heal: flush: %v", err))
-	} else if _, err := c.Wait(p); err != nil {
-		rep.Violations = append(rep.Violations, fmt.Sprintf("heal: final burn: %v", err))
+	if cl := sys.Cluster; cl != nil {
+		cl.Probe(p)
+		cl.RequeueUnderReplicated()
+	}
+	for _, fs := range fileSystems(sys) {
+		if c, err := fs.FlushAndBurn(p); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("heal: flush: %v", err))
+		} else if _, err := c.Wait(p); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("heal: final burn: %v", err))
+		}
 	}
 	for round := 1; ; round++ {
 		rep.HealRounds = round
 		clean := true
-		for _, tray := range usedTrays(sys.FS.Cat) {
-			rr, err := sys.FS.ScrubAndRepair(p, tray)
-			if err != nil {
-				rep.Violations = append(rep.Violations,
-					fmt.Sprintf("heal: repair of %v failed: %v", tray, err))
-				return
-			}
-			if len(rr.Scrub.BadStrips) > 0 || len(rr.BadDiscs) > 0 {
-				clean = false
-			}
-			if rr.ReBurn != nil {
-				if _, err := rr.ReBurn.Wait(p); err != nil {
+		for _, fs := range fileSystems(sys) {
+			for _, tray := range usedTrays(fs.Cat) {
+				rr, err := fs.ScrubAndRepair(p, tray)
+				if err != nil {
 					rep.Violations = append(rep.Violations,
-						fmt.Sprintf("heal: re-burn after repair of %v failed: %v", tray, err))
+						fmt.Sprintf("heal: repair of %v failed: %v", tray, err))
 					return
+				}
+				if len(rr.Scrub.BadStrips) > 0 || len(rr.BadDiscs) > 0 {
+					clean = false
+				}
+				if rr.ReBurn != nil {
+					if _, err := rr.ReBurn.Wait(p); err != nil {
+						rep.Violations = append(rep.Violations,
+							fmt.Sprintf("heal: re-burn after repair of %v failed: %v", tray, err))
+						return
+					}
 				}
 			}
 		}
 		if clean {
-			return
+			break
 		}
 		if round >= maxHealRounds {
 			rep.Violations = append(rep.Violations,
@@ -385,13 +549,31 @@ func heal(sys *ros.System, p *sim.Proc, rep *Report) {
 			return
 		}
 	}
+	if cl := sys.Cluster; cl != nil {
+		// The daemon drains the backlog whenever this proc yields virtual time.
+		for i := 0; cl.Backlog() > 0 && i < 4096; i++ {
+			p.Sleep(time.Second)
+		}
+		if n := cl.Backlog(); n > 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("heal: re-replication backlog did not drain (%d left)", n))
+		}
+	}
 }
 
-// oracle checks the post-heal invariants.
+// oracle checks the post-heal invariants across every rack.
 func oracle(sys *ros.System, p *sim.Proc, acked []ackedFile, rep *Report) {
-	// 1. Durability: every acknowledged write reads back byte-for-byte.
+	// 1. Durability: every acknowledged write reads back byte-for-byte —
+	// through the federation namespace when there is one, so replica
+	// selection and failover are part of the contract being checked.
+	readBack := func(path string) ([]byte, error) {
+		if sys.Cluster != nil {
+			return sys.Cluster.ReadFile(p, path)
+		}
+		return sys.FS.ReadFile(p, path)
+	}
 	for _, f := range acked {
-		got, err := sys.FS.ReadFile(p, f.path)
+		got, err := readBack(f.path)
 		if err != nil {
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("acked write %s unreadable: %v", f.path, err))
@@ -402,32 +584,47 @@ func oracle(sys *ros.System, p *sim.Proc, acked []ackedFile, rep *Report) {
 				fmt.Sprintf("acked write %s corrupt (%d bytes, want %d)", f.path, len(got), len(f.data)))
 		}
 	}
-	// 2. Redundancy: every used tray's parity groups verify clean.
-	for _, tray := range usedTrays(sys.FS.Cat) {
-		sr, err := sys.FS.ScrubTray(p, tray)
-		if err != nil {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("post-heal scrub of %v failed: %v", tray, err))
-			continue
+	for ri, fs := range fileSystems(sys) {
+		// 2. Redundancy: every used tray's parity groups verify clean.
+		for _, tray := range usedTrays(fs.Cat) {
+			sr, err := fs.ScrubTray(p, tray)
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("post-heal scrub of rack %d %v failed: %v", ri, tray, err))
+				continue
+			}
+			if len(sr.BadStrips) > 0 {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("post-heal scrub of rack %d %v found %d bad strips", ri, tray, len(sr.BadStrips)))
+			}
 		}
-		if len(sr.BadStrips) > 0 {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("post-heal scrub of %v found %d bad strips", tray, len(sr.BadStrips)))
+		// 3. Catalog consistency: every placed image lives on a Used tray.
+		dil := make([]string, 0, len(fs.Cat.DIL))
+		for k := range fs.Cat.DIL {
+			dil = append(dil, k)
+		}
+		sort.Strings(dil)
+		for _, k := range dil {
+			addr := fs.Cat.DIL[k]
+			if st := fs.Cat.DAState(addr.Tray); st != image.DAUsed {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("catalog: rack %d image %s placed on %v tray %v", ri, k, st, addr.Tray))
+			}
 		}
 	}
-	// 3. Catalog consistency: every placed image lives on a Used tray.
-	dil := make([]string, 0, len(sys.FS.Cat.DIL))
-	for k := range sys.FS.Cat.DIL {
-		dil = append(dil, k)
+}
+
+// fileSystems returns every rack's OLFS in index order (a single entry for
+// the classic single-rack system).
+func fileSystems(sys *ros.System) []*olfs.FS {
+	if sys.Cluster == nil {
+		return []*olfs.FS{sys.FS}
 	}
-	sort.Strings(dil)
-	for _, k := range dil {
-		addr := sys.FS.Cat.DIL[k]
-		if st := sys.FS.Cat.DAState(addr.Tray); st != image.DAUsed {
-			rep.Violations = append(rep.Violations,
-				fmt.Sprintf("catalog: image %s placed on %v tray %v", k, st, addr.Tray))
-		}
+	out := make([]*olfs.FS, 0, len(sys.Cluster.Racks()))
+	for _, r := range sys.Cluster.Racks() {
+		out = append(out, r.FS)
 	}
+	return out
 }
 
 // usedTrays returns the catalog's Used trays in deterministic order,

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"ros"
 )
 
 // chaosSeeds are the fixed seeds the CI chaos-smoke job sweeps. Eight seeds
@@ -123,3 +125,88 @@ func TestChaosFaultFree(t *testing.T) {
 // violationSeed is a seed empirically verified to push media.aged:p=0.6 past
 // the 2+1 redundancy bound (see TestChaosViolationReproduces).
 const violationSeed = 77
+
+// clusterSeeds drive the federation campaigns; they are disjoint from the
+// single-rack smoke seeds because the cluster worker has its own op mix.
+var clusterSeeds = []int64{11, 12, 13}
+
+// clusterOpts is the 3-rack / 2-replica federation the cluster campaigns run
+// against.
+func clusterOpts() ros.Options {
+	return ros.Options{Racks: 3, Replicas: 2}
+}
+
+// TestChaosClusterCampaignSeeds runs the default fault mix against the
+// federation: writes/reads/handles route through the cluster, the xrack op
+// kills primaries mid-campaign, and the oracle reads everything back through
+// replica selection.
+func TestChaosClusterCampaignSeeds(t *testing.T) {
+	for _, seed := range clusterSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rep, err := Run(Config{Seed: seed, Opts: clusterOpts()})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Failed() {
+				t.Fatalf("invariant violations:\n%s", rep.String())
+			}
+			if rep.Injected == 0 {
+				t.Error("no faults injected — campaign exercised nothing")
+			}
+			if rep.Ops["write"] == 0 || rep.Ops["read"] == 0 || rep.Ops["xrack"] == 0 {
+				t.Errorf("degenerate cluster workload: ops = %v", rep.Ops)
+			}
+		})
+	}
+}
+
+// TestChaosClusterRackOfflineFailover is the PR's acceptance scenario: with 3
+// racks and 2 replicas, an armed rack.offline fault on rack 0 must yield ZERO
+// failed reads — every read routed at the dead rack fails over to a replica.
+func TestChaosClusterRackOfflineFailover(t *testing.T) {
+	rep, err := Run(Config{Seed: 21, Faults: "rack.offline@rack0", Opts: clusterOpts()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed() {
+		t.Fatalf("invariant violations:\n%s", rep.String())
+	}
+	if rep.Injected == 0 {
+		t.Fatal("rack.offline never fired — nothing was tested")
+	}
+	if rep.OpErrors["read"] != 0 {
+		t.Errorf("%d reads failed with a live replica available; want 0 (every read must fail over)",
+			rep.OpErrors["read"])
+	}
+	if rep.OpErrors["xrack"] != 0 {
+		t.Errorf("%d cross-rack failover reads failed; want 0", rep.OpErrors["xrack"])
+	}
+	if rep.OpErrors["write"] != 0 {
+		t.Errorf("%d writes failed despite substitute racks; want 0", rep.OpErrors["write"])
+	}
+}
+
+// TestChaosClusterDeterministicReplay: cluster campaigns replay exactly from
+// their seed too — re-replication, failover and placement are all on the
+// deterministic clock.
+func TestChaosClusterDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 31, Opts: clusterOpts()}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Schedule != b.Schedule {
+		t.Errorf("fault schedules differ:\n--- first\n%s--- second\n%s", a.Schedule, b.Schedule)
+	}
+	if !reflect.DeepEqual(a.Ops, b.Ops) || !reflect.DeepEqual(a.OpErrors, b.OpErrors) {
+		t.Errorf("op mix differs: %v/%v vs %v/%v", a.Ops, a.OpErrors, b.Ops, b.OpErrors)
+	}
+	if !reflect.DeepEqual(a.Violations, b.Violations) {
+		t.Errorf("violations differ: %v vs %v", a.Violations, b.Violations)
+	}
+}

@@ -1,0 +1,489 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ros/internal/faultinject"
+	"ros/internal/obs"
+	"ros/internal/olfs"
+	"ros/internal/sim"
+)
+
+// testBed is a small federation on a fresh simulation: 3 racks of one roller
+// and two drive groups each, 1 MB buckets, 2+1 redundancy.
+type testBed struct {
+	env   *sim.Env
+	plane *faultinject.Plane
+	reg   *obs.Registry
+	cl    *Cluster
+}
+
+func newBed(t *testing.T, racks, replicas int, mutate func(*Config)) *testBed {
+	t.Helper()
+	env := sim.NewEnv()
+	plane := faultinject.New(env, 1)
+	reg := obs.New(env)
+	plane.AttachObs(reg)
+	cfg := Config{
+		Racks:    racks,
+		Replicas: replicas,
+		Stack: StackConfig{
+			Rollers:     1,
+			DriveGroups: 2,
+			BufferSlots: 12,
+			BucketBytes: 1 << 20,
+			FS:          olfs.Config{DataDiscs: 2, ParityDiscs: 1, AutoBurn: true},
+			Obs:         reg,
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cl, err := New(env, cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	return &testBed{env: env, plane: plane, reg: reg, cl: cl}
+}
+
+// run executes fn as a simulation process and drains the clock, failing the
+// test on fn errors or deadlock.
+func (tb *testBed) run(t *testing.T, fn func(p *sim.Proc) error) {
+	t.Helper()
+	var err error
+	tb.env.Go("test", func(p *sim.Proc) { err = fn(p) })
+	tb.env.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if tb.env.Deadlocked() {
+		t.Fatalf("simulation deadlocked (%d procs blocked)", tb.env.Live())
+	}
+}
+
+func pat(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i%251)
+	}
+	return b
+}
+
+// TestClusterReplicatedWriteRead: writes land on Replicas distinct racks and
+// read back byte-identical through the federation namespace.
+func TestClusterReplicatedWriteRead(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	const files = 12
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < files; i++ {
+			if err := tb.cl.WriteFile(p, fmt.Sprintf("/a/f%02d", i), pat(200<<10, byte(i))); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < files; i++ {
+			got, err := tb.cl.ReadFile(p, fmt.Sprintf("/a/f%02d", i))
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, pat(200<<10, byte(i))) {
+				return fmt.Errorf("file %d: payload mismatch", i)
+			}
+		}
+		return nil
+	})
+	for i := 0; i < files; i++ {
+		set := tb.cl.ReplicasOf(fmt.Sprintf("/a/f%02d", i))
+		if len(set) != 2 {
+			t.Fatalf("file %d: replica set %v, want 2 racks", i, set)
+		}
+		if set[0] == set[1] {
+			t.Fatalf("file %d: duplicate rack in replica set %v", i, set)
+		}
+	}
+	if got := tb.cl.m.replicaWrites.Value(); got != 2*files {
+		t.Errorf("replica_writes = %d, want %d", got, 2*files)
+	}
+	if tb.cl.Entries() != files {
+		t.Errorf("entries = %d, want %d", tb.cl.Entries(), files)
+	}
+	if tb.cl.Backlog() != 0 {
+		t.Errorf("backlog = %d, want 0 (all writes fully replicated)", tb.cl.Backlog())
+	}
+}
+
+// TestClusterFailoverOnOfflineFault is the acceptance scenario: 3 racks,
+// Replicas=2, an armed rack.offline fault on rack 0. Every read that would
+// have hit rack 0 must fail over to its replica — zero failed reads.
+func TestClusterFailoverOnOfflineFault(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	const files = 16
+	payload := func(i int) []byte { return pat(150<<10, byte(3*i)) }
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < files; i++ {
+			if err := tb.cl.WriteFile(p, fmt.Sprintf("/ha/f%02d", i), payload(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if _, err := tb.plane.ArmSpec("rack.offline@rack0"); err != nil {
+		t.Fatalf("ArmSpec: %v", err)
+	}
+	failed := 0
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < files; i++ {
+			got, err := tb.cl.ReadFile(p, fmt.Sprintf("/ha/f%02d", i))
+			if err != nil {
+				failed++
+				t.Errorf("read %d failed despite a live replica: %v", i, err)
+				continue
+			}
+			if !bytes.Equal(got, payload(i)) {
+				return fmt.Errorf("file %d: payload mismatch after failover", i)
+			}
+		}
+		return nil
+	})
+	if failed != 0 {
+		t.Fatalf("%d reads failed with rack0 offline; want 0", failed)
+	}
+	if tb.cl.Racks()[0].Health() != HealthOffline {
+		t.Errorf("rack0 health = %v, want offline", tb.cl.Racks()[0].Health())
+	}
+	if got := tb.cl.m.failovers.Value(); got == 0 {
+		t.Errorf("failovers = 0, want > 0 (rack0 held replicas)")
+	}
+	if got := tb.cl.m.transitions.Value(); got == 0 {
+		t.Errorf("health_transitions = 0, want > 0")
+	}
+	// The offline scan re-replicated rack0's images onto the survivors.
+	for i := 0; i < files; i++ {
+		set := tb.cl.ReplicasOf(fmt.Sprintf("/ha/f%02d", i))
+		live := 0
+		for _, ri := range set {
+			if tb.cl.Racks()[ri].Health() != HealthOffline {
+				live++
+			}
+		}
+		if live < 2 {
+			t.Errorf("file %d: only %d live replicas after re-replication (set %v)", i, live, set)
+		}
+	}
+	if got := tb.cl.m.rereplDone.Value(); got == 0 {
+		t.Errorf("rerepl_done = 0, want > 0")
+	}
+}
+
+// TestClusterProbeRecovers: a once-only offline fault knocks rack 0 out;
+// Probe (the heal path) brings it back to Up when the fault stops firing.
+func TestClusterProbeRecovers(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	tb.run(t, func(p *sim.Proc) error {
+		return tb.cl.WriteFile(p, "/probe/f0", pat(64<<10, 9))
+	})
+	if _, err := tb.plane.ArmSpec("rack.offline@rack0:once"); err != nil {
+		t.Fatalf("ArmSpec: %v", err)
+	}
+	tb.run(t, func(p *sim.Proc) error {
+		tb.cl.Probe(p) // consumes the once-rule, rack0 -> offline
+		if h := tb.cl.Racks()[0].Health(); h != HealthOffline {
+			return fmt.Errorf("after fault probe: rack0 %v, want offline", h)
+		}
+		tb.cl.Probe(p) // rule exhausted: rack0 recovers
+		if h := tb.cl.Racks()[0].Health(); h != HealthUp {
+			return fmt.Errorf("after heal probe: rack0 %v, want up", h)
+		}
+		return nil
+	})
+	if up := tb.cl.m.racksUp.Value(); up != 3 {
+		t.Errorf("racks_up = %d, want 3", up)
+	}
+}
+
+// TestClusterDegradedStillServes: a degraded rack keeps serving when it holds
+// the only copy, but replica selection avoids it when a healthy copy exists.
+func TestClusterDegradedStillServes(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	const path = "/deg/f0"
+	data := pat(100<<10, 42)
+	tb.run(t, func(p *sim.Proc) error {
+		return tb.cl.WriteFile(p, path, data)
+	})
+	set := tb.cl.ReplicasOf(path)
+	primary := set[0]
+	tb.cl.SetHealth(primary, HealthDegraded)
+	tb.run(t, func(p *sim.Proc) error {
+		got, err := tb.cl.ReadFile(p, path)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("payload mismatch")
+		}
+		return nil
+	})
+	// The healthy secondary should have served (degraded penalty dominates).
+	if got := tb.cl.m.secondaryReads.Value(); got != 1 {
+		t.Errorf("secondary_reads = %d, want 1 (read should avoid the degraded primary)", got)
+	}
+	// Degrade everything: the file must still be readable.
+	for ri := range tb.cl.Racks() {
+		tb.cl.SetHealth(ri, HealthDegraded)
+	}
+	tb.run(t, func(p *sim.Proc) error {
+		got, err := tb.cl.ReadFile(p, path)
+		if err != nil {
+			return fmt.Errorf("read with all racks degraded: %w", err)
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("payload mismatch (all degraded)")
+		}
+		return nil
+	})
+}
+
+// TestClusterAddRackNoRelocation: growing the federation never changes an
+// existing file's replica set, and new writes drain toward the newcomer.
+func TestClusterAddRackNoRelocation(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	const before = 30
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < before; i++ {
+			if err := tb.cl.WriteFile(p, fmt.Sprintf("/grow/f%03d", i), pat(80<<10, byte(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	old := make(map[string][]int, before)
+	for i := 0; i < before; i++ {
+		path := fmt.Sprintf("/grow/f%03d", i)
+		old[path] = tb.cl.ReplicasOf(path)
+	}
+	oldWrites := make([]int64, 3)
+	for ri, r := range tb.cl.Racks() {
+		oldWrites[ri] = r.FS.FilesWritten
+	}
+	if _, err := tb.cl.AddRack(); err != nil {
+		t.Fatalf("AddRack: %v", err)
+	}
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < 20; i++ {
+			if err := tb.cl.WriteFile(p, fmt.Sprintf("/grow/g%03d", i), pat(80<<10, byte(100+i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for path, want := range old {
+		got := tb.cl.ReplicasOf(path)
+		if len(got) != len(want) {
+			t.Fatalf("%s: replica set %v changed from %v after growth", path, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s: replica set %v changed from %v after growth", path, got, want)
+			}
+		}
+	}
+	if loads := tb.cl.Loads(); loads[3] == 0 {
+		t.Errorf("new rack received no placements after growth: loads %v", loads)
+	}
+	// Zero relocation also means zero data movement: no old rack ingested a
+	// file it didn't already have.
+	for ri := 0; ri < 3; ri++ {
+		r := tb.cl.Racks()[ri]
+		extra := r.FS.FilesWritten - oldWrites[ri]
+		placed := int64(0)
+		for i := 0; i < 20; i++ {
+			for _, m := range tb.cl.ReplicasOf(fmt.Sprintf("/grow/g%03d", i)) {
+				if m == ri {
+					placed++
+				}
+			}
+		}
+		if extra != placed {
+			t.Errorf("rack %d ingested %d files beyond its %d new placements (relocation?)", ri, extra, placed)
+		}
+	}
+}
+
+// TestClusterHandleFailover: an open read handle survives its rack going
+// offline mid-stream by transparently reopening on another replica.
+func TestClusterHandleFailover(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	const path = "/h/f0"
+	data := pat(300<<10, 7)
+	tb.run(t, func(p *sim.Proc) error {
+		return tb.cl.WriteFile(p, path, data)
+	})
+	tb.run(t, func(p *sim.Proc) error {
+		f, err := tb.cl.OpenFile(p, path)
+		if err != nil {
+			return err
+		}
+		defer f.Close(p)
+		if f.Size() != int64(len(data)) {
+			return fmt.Errorf("Size = %d, want %d", f.Size(), len(data))
+		}
+		buf := make([]byte, 64<<10)
+		if _, err := f.ReadAt(p, buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, data[:len(buf)]) {
+			return fmt.Errorf("head mismatch")
+		}
+		served := f.Rack()
+		tb.cl.SetHealth(served, HealthOffline)
+		if _, err := f.ReadAt(p, buf, 128<<10); err != nil {
+			return fmt.Errorf("ReadAt after rack offline: %w", err)
+		}
+		if !bytes.Equal(buf, data[128<<10:128<<10+len(buf)]) {
+			return fmt.Errorf("post-failover payload mismatch")
+		}
+		if f.Rack() == served {
+			return fmt.Errorf("handle still pinned to offline rack %d", served)
+		}
+		return nil
+	})
+	if got := tb.cl.m.failovers.Value(); got == 0 {
+		t.Errorf("failovers = 0, want > 0 for handle reopen")
+	}
+}
+
+// TestClusterTraceSpans: routed operations appear as cluster.route child
+// spans, and failovers leave cluster.failover markers in the trace journal.
+func TestClusterTraceSpans(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	const files = 8
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < files; i++ {
+			if err := tb.cl.WriteFile(p, fmt.Sprintf("/tr/f%d", i), pat(64<<10, byte(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	names := map[string]int{}
+	for _, tr := range tb.cl.tracer.Traces() {
+		for _, sp := range tr.Spans() {
+			names[sp.Name]++
+		}
+	}
+	if names["cluster.route"] == 0 {
+		t.Errorf("no cluster.route spans in trace journal: %v", names)
+	}
+	// A once-only fault on rack 0 fires mid-read: the plan still lists rack 0
+	// (it is Up at planning time, and the buffer-resident cost tie breaks to
+	// the lowest index), so the first read routed there fails over and leaves
+	// a cluster.failover marker.
+	if _, err := tb.plane.ArmSpec("rack.offline@rack0:once"); err != nil {
+		t.Fatalf("ArmSpec: %v", err)
+	}
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < files; i++ {
+			if _, err := tb.cl.ReadFile(p, fmt.Sprintf("/tr/f%d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if tb.cl.m.failovers.Value() == 0 {
+		t.Fatalf("expected at least one failover from the once-fault on rack0")
+	}
+	found := false
+	for _, tr := range tb.cl.tracer.Traces() {
+		for _, sp := range tr.Spans() {
+			if sp.Name == "cluster.failover" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("failovers counted but no cluster.failover span captured")
+	}
+}
+
+// TestClusterWriteFailoverSubstitutes: a write whose target drops mid-write
+// moves that replica to a substitute rack and still reaches full replication.
+func TestClusterWriteFailoverSubstitutes(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	if _, err := tb.plane.ArmSpec("rack.offline@rack0"); err != nil {
+		t.Fatalf("ArmSpec: %v", err)
+	}
+	const files = 8
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < files; i++ {
+			if err := tb.cl.WriteFile(p, fmt.Sprintf("/sub/f%d", i), pat(50<<10, byte(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for i := 0; i < files; i++ {
+		set := tb.cl.ReplicasOf(fmt.Sprintf("/sub/f%d", i))
+		if len(set) != 2 {
+			t.Fatalf("file %d: replica set %v, want 2 after substitution", i, set)
+		}
+		for _, ri := range set {
+			if ri == 0 {
+				t.Fatalf("file %d: replica on offline rack0 (set %v)", i, set)
+			}
+		}
+	}
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < files; i++ {
+			got, err := tb.cl.ReadFile(p, fmt.Sprintf("/sub/f%d", i))
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, pat(50<<10, byte(i))) {
+				return fmt.Errorf("file %d mismatch", i)
+			}
+		}
+		return nil
+	})
+}
+
+// TestClusterStatus: the operational snapshot reflects policy, membership and
+// health.
+func TestClusterStatus(t *testing.T) {
+	tb := newBed(t, 3, 2, nil)
+	defer tb.cl.Stop()
+	tb.run(t, func(p *sim.Proc) error {
+		for i := 0; i < 6; i++ {
+			if err := tb.cl.WriteFile(p, fmt.Sprintf("/st/f%d", i), pat(40<<10, byte(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	tb.cl.SetHealth(2, HealthDegraded)
+	st := tb.cl.Status()
+	if st.Policy != "seqcheck" || st.Replicas != 2 || st.Entries != 6 {
+		t.Errorf("status header = %q/%d/%d, want seqcheck/2/6", st.Policy, st.Replicas, st.Entries)
+	}
+	if len(st.Racks) != 3 {
+		t.Fatalf("status lists %d racks, want 3", len(st.Racks))
+	}
+	if st.Racks[2].Health != "degraded" {
+		t.Errorf("rack2 health = %q, want degraded", st.Racks[2].Health)
+	}
+	var load int64
+	for _, rs := range st.Racks {
+		load += rs.Load
+	}
+	if load != 12 {
+		t.Errorf("total placed load = %d, want 12 (6 files x 2 replicas)", load)
+	}
+}

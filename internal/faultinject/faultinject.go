@@ -51,12 +51,20 @@ const (
 	// its start (detail: tray ID).
 	PointTrayLoad   = "rack.tray.load"
 	PointTrayUnload = "rack.tray.unload"
+	// PointRackOffline takes a whole federated rack off the cluster fabric:
+	// the cluster routing layer consults it before every operation routed to
+	// a rack and marks the rack Offline when it fires (detail: "rack<i>").
+	PointRackOffline = "rack.offline"
+	// PointRackDegraded marks a federated rack Degraded: it keeps serving,
+	// but the cluster's replica selection deprioritizes it (detail: "rack<i>").
+	PointRackDegraded = "rack.degraded"
 )
 
 // Points lists the full fault-point catalogue (for rosctl faults list).
 var Points = []string{
 	PointOpticalRead, PointOpticalBurn, PointOpticalVerify, PointDriveDead,
 	PointMediaLSE, PointMediaAged, PointArmJam, PointTrayLoad, PointTrayUnload,
+	PointRackOffline, PointRackDegraded,
 }
 
 // ErrInjected is the base error of every injected fault; layers wrap it into

@@ -37,12 +37,15 @@ type partSource struct {
 	tray  rack.TrayID
 }
 
-// fileReader is an open-for-read OLFS file handle.
+// fileReader is an open-for-read OLFS file handle. class is the QoS class
+// mechanical work (tray fetches, read slots) is admitted at; the zero value
+// is sched.Interactive, so foreground handles need no explicit setup.
 type fileReader struct {
 	fs      *FS
 	path    string
 	entry   mv.VersionEntry
 	off     int64
+	class   sched.Class
 	sources []*partSource // resolved lazily per part
 }
 
@@ -279,7 +282,7 @@ func (fr *fileReader) readSeg(p *sim.Proc, buf []byte, s partSeg) (int, error) {
 	fs := fr.fs
 	fs.sched.Pin(src.tray)
 	defer fs.sched.Unpin(src.tray)
-	fs.sched.AcquireReadSlot(p, sched.Interactive, src.group)
+	fs.sched.AcquireReadSlot(p, fr.class, src.group)
 	defer fs.sched.ReleaseReadSlot(src.group)
 	return src.rd.ReadAt(p, buf[s.lo:s.hi], s.inOff)
 }
@@ -321,7 +324,7 @@ func (fr *fileReader) source(p *sim.Proc, i int) (*partSource, error) {
 	var err error
 	for try := 0; try < maxSourceRetries; try++ {
 		var src *partSource
-		src, err = fs.resolveSource(p, fr.entry.Parts[i], name, fr.partLen(i))
+		src, err = fs.resolveSource(p, fr.entry.Parts[i], name, fr.partLen(i), fr.class)
 		if err != nil {
 			if errors.Is(err, errStaleSource) {
 				fs.m.staleSources.Add(1)
@@ -345,7 +348,8 @@ func (fr *fileReader) source(p *sim.Proc, i int) (*partSource, error) {
 // resolveSource mounts image id and opens name in it, returning the source
 // stamped with its location. The tray is pinned for the whole disc path so
 // the eviction window closes between the group lookup and the UDF open.
-func (fs *FS) resolveSource(p *sim.Proc, id image.ID, name string, plen int64) (*partSource, error) {
+// Mechanical fetches are admitted at class.
+func (fs *FS) resolveSource(p *sim.Proc, id image.ID, name string, plen int64, class sched.Class) (*partSource, error) {
 	// Tier 1/2: buffer-resident bucket or image (Table 1 rows 1-2).
 	if b, ok := fs.Buckets.Resident(id); ok && !b.Raw {
 		fs.Buckets.Touch(b)
@@ -367,7 +371,7 @@ func (fs *FS) resolveSource(p *sim.Proc, id image.ID, name string, plen int64) (
 	gi := fs.groupHolding(addr.Tray)
 	if gi < 0 {
 		var err error
-		gi, err = fs.fetchTray(p, addr.Tray, sched.Interactive)
+		gi, err = fs.fetchTray(p, addr.Tray, class)
 		if err != nil {
 			return nil, err
 		}
@@ -470,14 +474,23 @@ func (fs *FS) unmountGroup(gi int) {
 }
 
 // ReadFile reads the whole current version of path (stat + reads + close).
-func (fs *FS) ReadFile(p *sim.Proc, path string) (data []byte, err error) {
-	op := fs.tracer.StartOp(p, "olfs.read", "interactive")
+func (fs *FS) ReadFile(p *sim.Proc, path string) ([]byte, error) {
+	return fs.ReadFileClass(p, path, sched.Interactive)
+}
+
+// ReadFileClass is ReadFile with the QoS class of the mechanical work made
+// explicit: tray fetches and drive read slots are admitted at class, so
+// background consumers (cluster re-replication, scrub-adjacent maintenance)
+// can drain whole files without competing with interactive readers.
+func (fs *FS) ReadFileClass(p *sim.Proc, path string, class sched.Class) (data []byte, err error) {
+	op := fs.tracer.StartOp(p, "olfs.read", class.String())
 	op.Annotate("path", path)
 	defer func() { op.Finish(p, err) }()
 	fr, err := fs.OpenFile(p, path)
 	if err != nil {
 		return nil, err
 	}
+	fr.class = class
 	out := make([]byte, 0, fr.Size())
 	buf := make([]byte, 1<<20)
 	// The size is known from the index, so reads stop at EOF without an

@@ -30,14 +30,13 @@ import (
 	"fmt"
 	"time"
 
-	"ros/internal/blockdev"
+	"ros/internal/cluster"
 	"ros/internal/faultinject"
 	"ros/internal/obs"
 	"ros/internal/olfs"
 	"ros/internal/optical"
 	"ros/internal/pagecache"
 	"ros/internal/rack"
-	"ros/internal/raid"
 	"ros/internal/sched"
 	"ros/internal/sim"
 )
@@ -68,6 +67,14 @@ const (
 	InterruptBurn = olfs.InterruptBurn
 )
 
+// Rack health states for the federation layer (Options.Racks > 1), usable
+// with System.Cluster.SetHealth.
+const (
+	RackUp       = cluster.HealthUp
+	RackDegraded = cluster.HealthDegraded
+	RackOffline  = cluster.HealthOffline
+)
+
 // Options size a System. The zero value builds a laptop-friendly instance:
 // one roller of 25 GB discs, two drive groups, 30 buffer slots of 8 MB
 // buckets and 2+1 redundancy. PrototypeOptions returns the paper's PB-scale
@@ -93,6 +100,18 @@ type Options struct {
 	// DisableAutoBurn turns off automatic burning (burn explicitly with
 	// FS.FlushAndBurn). By default full image sets burn as they form.
 	DisableAutoBurn bool
+
+	// Racks federates this many identical rack stacks behind one namespace
+	// (internal/cluster). 0 or 1 builds the classic single-rack system with
+	// no federation layer (System.Cluster is nil).
+	Racks int
+	// Replicas is the copies the federation keeps per file (default
+	// min(2, Racks); clamped to Racks). Ignored for single-rack systems.
+	Replicas int
+	// PlacePolicy selects the cluster placement algorithm: "seqcheck" (the
+	// Sequential Checking reallocation-free distribution, default) or "hash"
+	// (stateless modulo baseline that relocates on growth; ablation only).
+	PlacePolicy string
 
 	// FaultSeed seeds the deterministic fault plane's random source (0 uses
 	// seed 1). The plane is always registered; with no rules armed it is
@@ -138,6 +157,10 @@ type System struct {
 	// Faults is the deterministic fault-injection plane. Always present;
 	// inert until rules are armed (Options.Faults or Faults.ArmSpec).
 	Faults *faultinject.Plane
+	// Cluster is the multi-rack federation layer, non-nil only when
+	// Options.Racks > 1. Library/FS/Buffer then alias rack 0's stack; routed
+	// namespace operations go through Cluster.WriteFile/ReadFile/OpenFile.
+	Cluster *cluster.Cluster
 }
 
 // New assembles a System on a fresh simulation environment.
@@ -163,43 +186,12 @@ func New(o Options) (*System, error) {
 			return nil, err
 		}
 	}
-	lib, err := rack.New(env, rack.Config{
-		Rollers:     o.Rollers,
-		DriveGroups: o.DriveGroups,
-		Media:       o.Media,
-		PopulateAll: true,
-		BurnCap:     o.BurnCap,
-		Obs:         reg,
-	})
-	if err != nil {
-		return nil, err
-	}
-	ssds := []blockdev.Device{
-		blockdev.New(env, 256<<30, blockdev.SSDProfile()),
-		blockdev.New(env, 256<<30, blockdev.SSDProfile()),
-	}
-	mvArr, err := raid.New(env, raid.RAID1, ssds, 0)
-	if err != nil {
-		return nil, err
-	}
-	hdds := make([]blockdev.Device, 7)
-	perDisk := (int64(o.BufferSlots)*o.BucketBytes/6 + (64 << 10)) * 2
-	for i := range hdds {
-		hdds[i] = blockdev.New(env, perDisk, blockdev.HDDProfile())
-	}
-	bufArr, err := raid.New(env, raid.RAID5, hdds, 64<<10)
-	if err != nil {
-		return nil, err
-	}
-	buffer := pagecache.New(env, bufArr, pagecache.Ext4Rates())
-	buffer.AttachObs(reg, "buffer")
 	cfg := o.FS
 	if cfg.DataDiscs == 0 {
 		cfg.DataDiscs = 2
 		cfg.ParityDiscs = 1
 	}
 	cfg.AutoBurn = !o.DisableAutoBurn
-	cfg.BucketBytes = o.BucketBytes
 	pol, err := sched.ParsePolicy(o.SchedPolicy)
 	if err != nil {
 		return nil, err
@@ -208,11 +200,45 @@ func New(o Options) (*System, error) {
 	cfg.Trace.Capacity = o.TraceCapacity
 	cfg.Trace.SlowThreshold = o.SlowTraceThreshold
 	cfg.Trace.SampleEvery = o.TraceSampleEvery
-	fs, err := olfs.New(env, cfg, lib, mvArr, buffer)
+	stack := cluster.StackConfig{
+		Rollers:     o.Rollers,
+		DriveGroups: o.DriveGroups,
+		Media:       o.Media,
+		BufferSlots: o.BufferSlots,
+		BucketBytes: o.BucketBytes,
+		BurnCap:     o.BurnCap,
+		FS:          cfg,
+		Obs:         reg,
+	}
+	if o.Racks > 1 {
+		pp, err := cluster.ParsePlacePolicy(o.PlacePolicy)
+		if err != nil {
+			return nil, err
+		}
+		replicas := o.Replicas
+		if replicas == 0 {
+			replicas = 2
+		}
+		cl, err := cluster.New(env, cluster.Config{
+			Racks:    o.Racks,
+			Replicas: replicas,
+			Policy:   pp,
+			Stack:    stack,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r0 := cl.Racks()[0]
+		return &System{
+			Env: env, Library: r0.Lib, FS: r0.FS, Buffer: r0.Buffer,
+			Obs: reg, Faults: plane, Cluster: cl,
+		}, nil
+	}
+	r0, err := cluster.NewRackStack(env, 0, stack)
 	if err != nil {
 		return nil, err
 	}
-	return &System{Env: env, Library: lib, FS: fs, Buffer: buffer, Obs: reg, Faults: plane}, nil
+	return &System{Env: env, Library: r0.Lib, FS: r0.FS, Buffer: r0.Buffer, Obs: reg, Faults: plane}, nil
 }
 
 // Do runs fn as a simulation process and drains the environment to
