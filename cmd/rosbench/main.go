@@ -72,6 +72,7 @@ var registry = map[string]func() (experiments.Result, error){
 	"ablate-pread":       experiments.AblationParallelRead,
 	"sustained":          experiments.SustainedIngest,
 	"cluster-failover":   experiments.ClusterFailover,
+	"telemetry":          chaos.TelemetryExperiment,
 }
 
 func main() {
@@ -106,6 +107,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.String())
+		if *jsonOut != "" {
+			// The full report embeds the alert incident log, per-rule
+			// detection/recovery latencies and the final series tails.
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaos json:", err)
+				os.Exit(1)
+			}
+		}
 		if rep.Failed() {
 			os.Exit(1)
 		}

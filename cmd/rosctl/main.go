@@ -23,8 +23,20 @@
 //	scrub <tray>            verify cross-disc parity of a burned tray (r0/L84/S0)
 //	trays                   show used/failed trays
 //	status                  counters, drive states, buffer occupancy
-//	stats [--json]          unified obs snapshot (counters, gauges, latency
-//	                        histograms with p50/p95/p99); --json for machines
+//	stats [--json] [--rack <i> | --merged]
+//	                        unified obs snapshot (counters, gauges, latency
+//	                        histograms with p50/p95/p99); --json for machines;
+//	                        in cluster mode --merged combines every rack
+//	                        (histogram buckets summed, quantiles re-derived)
+//	                        and --rack <i> drills into one rack
+//	metrics                 Prometheus text exposition (system + per-rack
+//	                        rack="rackN" labels)
+//	alerts [--json]         loaded rules, active alert states, incident log
+//	                        with detection/recovery latencies
+//	top [filter]            one-frame fleet dashboard: firing alerts plus
+//	                        sampled series with sparklines (filter = substring)
+//	watch [frames] [filter] live dashboard: redraw every sampling interval of
+//	                        virtual time while daemons run
 //	trace list              captured request traces (tail-sampled journal)
 //	trace show <id>         one trace as a span tree + critical-path breakdown
 //	trace export --perfetto [<id>]
@@ -60,6 +72,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ros"
 	"ros/internal/cluster"
@@ -77,6 +90,8 @@ func main() {
 	racks := flag.Int("racks", 1, "federate this many racks (>1 enables the cluster layer)")
 	replicas := flag.Int("replicas", 0, "replicas per file in cluster mode (default min(2, racks))")
 	place := flag.String("place", "", "cluster placement policy: seqcheck (default) or hash")
+	sampleEvery := flag.Duration("sample-every", 30*time.Second,
+		"telemetry sampling interval in virtual time (0 disables metrics/alerts/top)")
 	flag.Parse()
 
 	// RecycleAfterBurn keeps burned buckets out of the read cache so a read
@@ -89,6 +104,7 @@ func main() {
 		Racks:           *racks,
 		Replicas:        *replicas,
 		PlacePolicy:     *place,
+		SampleEvery:     *sampleEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assemble:", err)
@@ -138,7 +154,7 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 	fs := sys.FS
 	switch fields[0] {
 	case "help":
-		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats trace faults power clock quit")
+		fmt.Println("write read stat ls rm sync burn ingest drain scrub repair snapshot trays status stats metrics alerts top watch trace faults power clock quit")
 		if sys.Cluster != nil {
 			fmt.Println("cluster status|placement|kill|revive|addrack")
 		}
@@ -346,8 +362,29 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		fmt.Printf("  sched (%s): queued %d interactive, %d prefetch, %d burn, %d scrub\n",
 			fs.Sched().Config().Policy, d[sched.Interactive], d[sched.Prefetch], d[sched.Burn], d[sched.Scrub])
 	case "stats":
+		asJSON := false
 		snap := sys.Obs.Snapshot()
-		if len(fields) > 1 && fields[1] == "--json" {
+		for i := 1; i < len(fields); i++ {
+			switch fields[i] {
+			case "--json":
+				asJSON = true
+			case "--merged":
+				snap = sys.MergedObs()
+			case "--rack":
+				if i+1 >= len(fields) {
+					return fmt.Errorf("usage: stats [--json] [--rack <i> | --merged]")
+				}
+				i++
+				ri, err := strconv.Atoi(fields[i])
+				if err != nil {
+					return fmt.Errorf("bad rack index %q", fields[i])
+				}
+				snap = sys.RackObs(ri)
+			default:
+				return fmt.Errorf("usage: stats [--json] [--rack <i> | --merged]")
+			}
+		}
+		if asJSON {
 			js, err := snap.JSON()
 			if err != nil {
 				return err
@@ -356,6 +393,14 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 			return nil
 		}
 		fmt.Print(snap)
+	case "metrics":
+		fmt.Print(sys.PrometheusText())
+	case "alerts":
+		return alertsCommand(sys, fields[1:])
+	case "top":
+		return topCommand(sys, p, fields[1:])
+	case "watch":
+		return watchCommand(sys, p, fields[1:])
 	case "trace":
 		return traceCommand(fs.Tracer(), fields[1:])
 	case "faults":

@@ -14,16 +14,24 @@
 //	SYNC\n                                  -> OK\n  (seal current bucket)
 //	BURN\n                                  -> OK <virtual-duration>\n (flush + burn)
 //	STATS\n                                 -> OK <nbytes>\n<unified obs snapshot JSON>
+//	METRICS\n                               -> OK <nbytes>\n<Prometheus text exposition>
+//	ALERTS\n                                -> OK <nbytes>\n<alert incident log JSON>
+//	SERIES [<tail>]\n                       -> OK <nbytes>\n<sampled time-series JSON>
 //	TRACE LIST\n                            -> OK <count>\n<one line per trace>
 //	TRACE SHOW <id>\n                       -> OK <nbytes>\n<span tree + critical path>
 //	TRACE EXPORT [<id>]\n                   -> OK <nbytes>\n<Perfetto trace_event JSON>
 //	QUIT\n
+//
+// METRICS is the scrape endpoint: pointing a Prometheus file_sd/exporter
+// bridge at it yields the full fleet (system + per-rack labels) in the
+// standard text format.
 //
 // Usage:
 //
 //	rosfsd -addr :9876          # serve
 //	rosfsd -demo                # serve on an ephemeral port and run a demo client
 //	rosfsd -stats-every 100     # also log the obs snapshot every 100 requests
+//	rosfsd -sample-every 10s    # telemetry sampling interval (0 disables)
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ros"
 	"ros/internal/obs"
@@ -68,6 +77,33 @@ func (s *server) snapshotJSON() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sys.Obs.Snapshot().JSON()
+}
+
+// metricsText renders the Prometheus exposition under the sim lock.
+func (s *server) metricsText() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.PrometheusText(), nil
+}
+
+// alertsJSON serializes the alert incident log under the sim lock.
+func (s *server) alertsJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sys.Alerts == nil {
+		return nil, fmt.Errorf("alerting disabled (-sample-every 0)")
+	}
+	return s.sys.Alerts.IncidentsJSON()
+}
+
+// seriesJSON serializes the sampled time series under the sim lock.
+func (s *server) seriesJSON(tail int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sys.Telemetry == nil {
+		return nil, fmt.Errorf("telemetry disabled (-sample-every 0)")
+	}
+	return s.sys.Telemetry.DumpJSON(tail)
 }
 
 // traceRequest serves the TRACE verb (LIST, SHOW <id>, EXPORT [<id>]) under
@@ -126,9 +162,11 @@ func main() {
 	addr := flag.String("addr", ":9876", "listen address")
 	demo := flag.Bool("demo", false, "serve on an ephemeral port and run a demo client")
 	statsEvery := flag.Int("stats-every", 0, "log the unified obs snapshot every N requests (0 = off)")
+	sampleEvery := flag.Duration("sample-every", 30*time.Second,
+		"telemetry sampling interval in virtual time (0 disables METRICS/ALERTS/SERIES)")
 	flag.Parse()
 
-	sys, err := ros.New(ros.Options{BucketBytes: 4 << 20})
+	sys, err := ros.New(ros.Options{BucketBytes: 4 << 20, SampleEvery: *sampleEvery})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assemble:", err)
 		os.Exit(1)
@@ -295,6 +333,35 @@ func handle(srv *server, conn net.Conn) {
 				w.Write(js)
 				fmt.Fprintln(w)
 			})
+		case "METRICS":
+			text, err := srv.metricsText()
+			reply(w, err, func() {
+				fmt.Fprintf(w, "OK %d\n", len(text))
+				w.WriteString(text)
+			})
+		case "ALERTS":
+			js, err := srv.alertsJSON()
+			reply(w, err, func() {
+				fmt.Fprintf(w, "OK %d\n", len(js))
+				w.Write(js)
+				fmt.Fprintln(w)
+			})
+		case "SERIES":
+			tail := 0
+			if len(fields) > 1 {
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					fmt.Fprintf(w, "ERR bad tail %q\n", fields[1])
+					continue
+				}
+				tail = n
+			}
+			js, err := srv.seriesJSON(tail)
+			reply(w, err, func() {
+				fmt.Fprintf(w, "OK %d\n", len(js))
+				w.Write(js)
+				fmt.Fprintln(w)
+			})
 		case "TRACE":
 			if len(fields) < 2 {
 				fmt.Fprintf(w, "ERR usage: TRACE LIST | TRACE SHOW <id> | TRACE EXPORT [<id>]\n")
@@ -403,6 +470,22 @@ func runDemo(addr string) error {
 		return err
 	}
 	fmt.Println("client: STATS ->", sn, "bytes of snapshot JSON")
+
+	fmt.Fprintf(w, "METRICS\n")
+	w.Flush()
+	line, _ = r.ReadString('\n')
+	var mn int
+	if _, err := fmt.Sscanf(line, "OK %d", &mn); err != nil {
+		return fmt.Errorf("METRICS reply %q: %w", line, err)
+	}
+	metrics := make([]byte, mn)
+	if _, err := io.ReadFull(r, metrics); err != nil {
+		return err
+	}
+	if !strings.Contains(string(metrics), "# TYPE ros_olfs_files_written counter") {
+		return fmt.Errorf("METRICS exposition missing expected family")
+	}
+	fmt.Println("client: METRICS ->", mn, "bytes of Prometheus exposition")
 
 	fmt.Fprintf(w, "TRACE LIST\n")
 	w.Flush()

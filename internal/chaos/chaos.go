@@ -39,7 +39,9 @@ import (
 
 	"ros"
 	"ros/internal/cluster"
+	"ros/internal/faultinject"
 	"ros/internal/image"
+	"ros/internal/obs"
 	"ros/internal/olfs"
 	"ros/internal/rack"
 	"ros/internal/sim"
@@ -88,6 +90,19 @@ type Report struct {
 
 	HealRounds int
 	Violations []string // invariant violations; empty means the campaign passed
+
+	// Alert-oracle results (campaigns run with telemetry enabled, the
+	// default). AlertIncidents is the engine's full fire→resolve log;
+	// AlertDetection maps a rule to the latency between the first matching
+	// fault injection and the alert firing, AlertRecovery to the matched
+	// incident's fire→resolve duration.
+	AlertIncidents []obs.Incident
+	AlertDetection map[string]time.Duration
+	AlertRecovery  map[string]time.Duration
+
+	// SeriesTail is the trailing window of every sampled series at campaign
+	// end, so a JSON-exported report carries the telemetry that explains it.
+	SeriesTail []obs.SeriesDump
 }
 
 // Failed reports whether any invariant was violated.
@@ -113,6 +128,16 @@ func (r *Report) String() string {
 	}
 	for _, k := range sortedKeys(r.FaultCounters) {
 		fmt.Fprintf(&b, "  %-24s %d\n", k, r.FaultCounters[k])
+	}
+	if len(r.AlertIncidents) > 0 {
+		fmt.Fprintf(&b, "  alerts: %d incidents\n", len(r.AlertIncidents))
+	}
+	for _, rule := range sortedKeysD(r.AlertDetection) {
+		line := fmt.Sprintf("  alert %-22s detected in %v", rule, r.AlertDetection[rule])
+		if rec, ok := r.AlertRecovery[rule]; ok {
+			line += fmt.Sprintf(", recovered in %v", rec)
+		}
+		b.WriteString(line + "\n")
 	}
 	if r.Failed() {
 		fmt.Fprintf(&b, "VIOLATIONS (%d):\n", len(r.Violations))
@@ -171,6 +196,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	opts.FaultSeed = cfg.Seed
 	opts.Faults = spec
+	if opts.SampleEvery == 0 {
+		// Campaigns run with telemetry and the default alert rules on, so the
+		// alert oracle can hold injected faults to the detection contract.
+		opts.SampleEvery = 30 * time.Second
+	}
 
 	sys, err := ros.New(opts)
 	if err != nil {
@@ -179,8 +209,8 @@ func Run(cfg Config) (*Report, error) {
 	sys.Env.Seed(cfg.Seed)
 
 	rep := &Report{
-		Seed:     cfg.Seed,
-		Faults:   spec,
+		Seed:          cfg.Seed,
+		Faults:        spec,
 		Ops:           make(map[string]int64),
 		OpErrors:      make(map[string]int64),
 		FaultCounters: make(map[string]int64),
@@ -199,6 +229,7 @@ func Run(cfg Config) (*Report, error) {
 
 		heal(sys, p, rep)
 		oracle(sys, p, flatten(acked), rep)
+		alertOracle(sys, p, rep)
 		return nil
 	})
 	if campaignErr != nil {
@@ -218,8 +249,8 @@ func Run(cfg Config) (*Report, error) {
 	} else if live := sys.Env.Live(); live != 0 {
 		rep.Violations = append(rep.Violations, fmt.Sprintf("process leak: %d live after stop+drain", live))
 	}
-	// Each rack has its own registry (rack 0 shares the system's), so the
-	// span-leak check sweeps them all.
+	// Every rack has its own private registry, so the span-leak check sweeps
+	// them all.
 	for ri, fs := range fileSystems(sys) {
 		if open := fs.Obs().OpenSpans(); open != 0 {
 			rep.Violations = append(rep.Violations, fmt.Sprintf("span leak: %d open spans after stop (rack %d)", open, ri))
@@ -230,6 +261,9 @@ func Run(cfg Config) (*Report, error) {
 		if strings.HasPrefix(c.Name, "fault.") {
 			rep.FaultCounters[c.Name] = c.Value
 		}
+	}
+	if sys.Telemetry != nil {
+		rep.SeriesTail = sys.Telemetry.Dump(seriesTailLen)
 	}
 	return rep, nil
 }
@@ -505,7 +539,22 @@ const maxHealRounds = 6
 // plane), requeues under-replicated files, and drains the re-replication
 // backlog before the oracle holds reads to the durability contract.
 func heal(sys *ros.System, p *sim.Proc, rep *Report) {
+	// Hold the damage visible for one sampling pass before repairing it: a
+	// fault injected in the campaign's last moments must still be scraped (and
+	// alerted on) or the alert oracle would race the heal.
+	if sys.Telemetry != nil {
+		p.Sleep(sys.Telemetry.Config().Interval)
+	}
 	sys.Faults.Clear()
+	// FRU-swap drives killed by the fault plane; a dead drive is permanent
+	// hardware loss, not something scrubbing can repair around forever.
+	for _, lib := range libraries(sys) {
+		for _, g := range lib.Groups {
+			for _, d := range g.Drives {
+				d.Replace()
+			}
+		}
+	}
 	if cl := sys.Cluster; cl != nil {
 		cl.Probe(p)
 		cl.RequeueUnderReplicated()
@@ -614,6 +663,119 @@ func oracle(sys *ros.System, p *sim.Proc, acked []ackedFile, rep *Report) {
 	}
 }
 
+// seriesTailLen is how many trailing samples per series a report keeps.
+const seriesTailLen = 48
+
+// alertSettle bounds how long the alert oracle waits for the fleet to go
+// quiet; rules damp over their evaluation windows (minutes), so an hour of
+// virtual idling is generous — an alert still firing after that is stuck.
+const alertSettle = time.Hour
+
+// faultAlerts maps injected fault points to the default alert rule that must
+// detect them. Only points representing persistent, sampled state qualify:
+// transient per-op faults (read errors, LSEs, jams) surface as tolerated op
+// errors, not standing alerts.
+var faultAlerts = map[string]string{
+	faultinject.PointDriveDead:   "optical-drive-dead",
+	faultinject.PointRackOffline: "cluster-rack-offline",
+}
+
+// alertOracle holds the alert engine to the detection contract: every
+// injected fault with a matching default rule must have fired its alert
+// within one sampling window of the first injection, every incident must
+// resolve after the heal, and nothing may still be firing once the fleet has
+// had time to settle.
+func alertOracle(sys *ros.System, p *sim.Proc, rep *Report) {
+	if sys.Alerts == nil || sys.Telemetry == nil {
+		return
+	}
+	interval := sys.Telemetry.Config().Interval
+	// Let damped rules (For / ClearFor) ride out their windows; the sampler
+	// ticks weakly, so this proc's sleep is what keeps virtual time moving.
+	for waited := time.Duration(0); len(sys.Alerts.Firing()) > 0 && waited < alertSettle; waited += interval {
+		p.Sleep(interval)
+	}
+	rep.AlertIncidents = sys.Alerts.Incidents()
+	rep.AlertDetection = make(map[string]time.Duration)
+	rep.AlertRecovery = make(map[string]time.Duration)
+
+	for _, point := range sortedKeysS(faultAlerts) {
+		rule := faultAlerts[point]
+		if point == faultinject.PointRackOffline && sys.Cluster == nil {
+			continue // cluster rules cannot fire without a federation
+		}
+		// First injection of this point, if any.
+		t0 := time.Duration(-1)
+		for _, ev := range sys.Faults.Events() {
+			if ev.Point == point {
+				t0 = ev.T
+				break
+			}
+		}
+		if t0 < 0 {
+			continue
+		}
+		// An incident covers the injection if it fired no later than one
+		// sampling window after t0 and was still open at t0 (workload churn —
+		// e.g. xrack failover kills — may have raised the same alert earlier;
+		// that standing incident is the detection).
+		matched := false
+		for _, in := range rep.AlertIncidents {
+			if in.Rule != rule {
+				continue
+			}
+			fired := time.Duration(in.FiredNS)
+			if fired > t0+interval {
+				continue
+			}
+			if in.ResolvedNS >= 0 && time.Duration(in.ResolvedNS) < t0 {
+				continue
+			}
+			matched = true
+			if det := fired - t0; det > 0 {
+				rep.AlertDetection[rule] = det
+			} else {
+				rep.AlertDetection[rule] = 0 // alert was already standing
+			}
+			if in.ResolvedNS >= 0 {
+				rep.AlertRecovery[rule] = time.Duration(in.ResolvedNS) - fired
+			}
+			break
+		}
+		if !matched {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("alert oracle: fault %s injected at %v but rule %s never fired within one sampling window (%v)",
+					point, t0, rule, interval))
+		}
+	}
+
+	// Post-heal quiescence: no default alert may still be firing, and every
+	// incident must have resolved.
+	for _, a := range sys.Alerts.Firing() {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("alert oracle: %s[%s] still %s after heal and %v settle", a.Rule, a.Label, a.State, alertSettle))
+	}
+	for _, in := range rep.AlertIncidents {
+		if in.Open {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("alert oracle: incident %s[%s] (fired %v) never resolved", in.Rule, in.Label, time.Duration(in.FiredNS)))
+		}
+	}
+}
+
+// libraries returns every rack's drive library (one for the single-rack
+// system).
+func libraries(sys *ros.System) []*rack.Library {
+	if sys.Cluster == nil {
+		return []*rack.Library{sys.Library}
+	}
+	out := make([]*rack.Library, 0, len(sys.Cluster.Racks()))
+	for _, r := range sys.Cluster.Racks() {
+		out = append(out, r.Lib)
+	}
+	return out
+}
+
 // fileSystems returns every rack's OLFS in index order (a single entry for
 // the classic single-rack system).
 func fileSystems(sys *ros.System) []*olfs.FS {
@@ -673,6 +835,24 @@ func flatten(per [][]ackedFile) []ackedFile {
 }
 
 func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysD(m map[string]time.Duration) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysS(m map[string]string) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"ros"
 )
@@ -184,6 +185,49 @@ func TestChaosClusterRackOfflineFailover(t *testing.T) {
 	}
 	if rep.OpErrors["write"] != 0 {
 		t.Errorf("%d writes failed despite substitute racks; want 0", rep.OpErrors["write"])
+	}
+	// The alert oracle must have matched the injected rack.offline to the
+	// cluster-rack-offline rule with a detection latency within one sampling
+	// window, and the incident must have recovered after the heal probe.
+	if _, ok := rep.AlertDetection["cluster-rack-offline"]; !ok {
+		t.Errorf("no detection latency recorded for cluster-rack-offline; incidents: %+v", rep.AlertIncidents)
+	}
+	if rec, ok := rep.AlertRecovery["cluster-rack-offline"]; ok && rec <= 0 {
+		t.Errorf("cluster-rack-offline recovery latency %v, want > 0", rec)
+	}
+}
+
+// TestChaosDriveDeadAlert arms whole-drive death (deliberately absent from
+// DefaultFaults) and holds the campaign to the telemetry contract: the
+// optical-drive-dead alert fires within one sampling window of the kill,
+// resolves after the heal phase FRU-swaps the dead drives, and the report
+// carries both latencies.
+func TestChaosDriveDeadAlert(t *testing.T) {
+	rep, err := Run(Config{Seed: 51, Faults: "optical.drive.dead:every=40,count=2;optical.read:p=0.01"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed() {
+		t.Fatalf("invariant violations:\n%s", rep.String())
+	}
+	if rep.FaultCounters["fault.optical.drive.dead"] == 0 {
+		t.Fatal("no drive-dead fault fired — nothing was tested")
+	}
+	det, ok := rep.AlertDetection["optical-drive-dead"]
+	if !ok {
+		t.Fatalf("no detection latency for optical-drive-dead; incidents: %+v", rep.AlertIncidents)
+	}
+	if det > 30*time.Second {
+		t.Errorf("detection latency %v exceeds one 30s sampling window", det)
+	}
+	rec, ok := rep.AlertRecovery["optical-drive-dead"]
+	if !ok || rec <= 0 {
+		t.Errorf("drive-dead incident never recovered (recovery %v, recorded %v)", rec, ok)
+	}
+	for _, in := range rep.AlertIncidents {
+		if in.Open {
+			t.Errorf("incident %s[%s] still open at campaign end", in.Rule, in.Label)
+		}
 	}
 }
 

@@ -48,10 +48,15 @@ type Config struct {
 	Replicas int
 	// Policy selects the placement algorithm (default Sequential Checking).
 	Policy PlacePolicy
-	// Stack sizes every member rack. Stack.Obs is the system registry: rack 0
-	// and the cluster.* metrics record there; later racks get private
-	// registries so their olfs.*/rack.* counters don't collide.
+	// Stack sizes every member rack. Stack.Obs is the system registry: the
+	// cluster.* metrics record there, while every member rack gets a private
+	// registry so its olfs.*/rack.* counters don't collide and per-rack
+	// telemetry stays separable (merged views recombine them).
 	Stack StackConfig
+	// Sampler, when set, has each member's registry registered as a labeled
+	// telemetry source (label = rack name) as racks join, including growth
+	// via AddRack mid-run.
+	Sampler *obs.Sampler
 }
 
 // entry is one namespace file: its replica set, primary first.
@@ -160,13 +165,13 @@ func (c *Cluster) bindMetrics(r *obs.Registry) {
 	}
 }
 
-// addRack builds one more member on the shared clock. Rack 0 records into
-// the configured (system) registry; later racks get private registries.
+// addRack builds one more member on the shared clock. Every member gets a
+// private registry (racks must not share one: CounterAt rebinds duplicate
+// names), which is also what gives the sampler its rack-labeled series; the
+// configured system registry carries only federation-level cluster.* metrics.
 func (c *Cluster) addRack() (*Rack, error) {
 	scfg := c.cfg.Stack
-	if len(c.racks) > 0 {
-		scfg.Obs = nil
-	}
+	scfg.Obs = nil
 	r, err := NewRackStack(c.env, len(c.racks), scfg)
 	if err != nil {
 		return nil, err
@@ -175,6 +180,9 @@ func (c *Cluster) addRack() (*Rack, error) {
 	c.placer.grow()
 	c.m.racks.Set(int64(len(c.racks)))
 	c.refreshHealthGauges()
+	if c.cfg.Sampler != nil {
+		c.cfg.Sampler.AddSource(r.Name, r.Reg)
+	}
 	return r, nil
 }
 
@@ -904,6 +912,36 @@ type Status struct {
 	Backlog      int          `json:"rerepl_backlog"`
 	ImbalancePct float64      `json:"imbalance_pct"`
 	Racks        []RackStatus `json:"racks"`
+}
+
+// RackSnapshot returns rack ri's private metrics snapshot — the per-rack
+// drill-down behind rosctl stats --rack. Zero snapshot when out of range.
+func (c *Cluster) RackSnapshot(ri int) obs.Snapshot {
+	if ri < 0 || ri >= len(c.racks) {
+		return obs.Snapshot{}
+	}
+	return c.racks[ri].Reg.Snapshot()
+}
+
+// MergedSnapshot combines every rack's snapshot into one cluster-wide view:
+// counters sum and histograms merge by bucket counts (never by averaging
+// percentiles — see obs.MergeSnapshots).
+func (c *Cluster) MergedSnapshot() obs.Snapshot {
+	snaps := make([]obs.Snapshot, len(c.racks))
+	for i, r := range c.racks {
+		snaps[i] = r.Reg.Snapshot()
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// LabeledSnapshots returns each rack's snapshot tagged with its name, the
+// input shape Prometheus exposition wants for rack="..." labels.
+func (c *Cluster) LabeledSnapshots() []obs.LabeledSnapshot {
+	out := make([]obs.LabeledSnapshot, len(c.racks))
+	for i, r := range c.racks {
+		out[i] = obs.LabeledSnapshot{Label: r.Name, Snap: r.Reg.Snapshot()}
+	}
+	return out
 }
 
 // Status assembles the operational snapshot.

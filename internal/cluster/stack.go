@@ -66,6 +66,9 @@ type Rack struct {
 	Lib    *rack.Library
 	FS     *olfs.FS
 	Buffer *pagecache.Volume
+	// Reg is the registry this rack's stack records into — private per rack
+	// in a federation, so per-rack series stay separable and merge correctly.
+	Reg *obs.Registry
 
 	health Health
 }
@@ -125,5 +128,6 @@ func NewRackStack(env *sim.Env, idx int, cfg StackConfig) (*Rack, error) {
 		Lib:    lib,
 		FS:     fs,
 		Buffer: buffer,
+		Reg:    reg,
 	}, nil
 }

@@ -73,7 +73,7 @@ func TestEveryNthAfterAndWindow(t *testing.T) {
 		}
 		for i := 0; i < 30; i++ {
 			if Check(p, PointMediaLSE, "disc") != nil {
-				lseFires = append(lseFires, int(p.Now() / time.Second))
+				lseFires = append(lseFires, int(p.Now()/time.Second))
 			}
 			p.Sleep(time.Second)
 		}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"ros/internal/sim"
+)
+
+// TestMergeSnapshotsSkewedRacks is the regression for the percentile-merge
+// bug: rack A has 10 very slow reads, rack B has 10000 fast ones. The merged
+// p99 must come from combining bucket counts (≈ fast mass, since slow reads
+// are only 0.1% of the population) — averaging the two racks' p99s would land
+// near the midpoint, wrong by orders of magnitude.
+func TestMergeSnapshotsSkewedRacks(t *testing.T) {
+	env := sim.NewEnv()
+	slow, fast := New(env), New(env)
+	for i := 0; i < 10; i++ {
+		slow.Histogram("olfs.op.read").Observe(int64(100 * time.Second))
+	}
+	for i := 0; i < 10000; i++ {
+		fast.Histogram("olfs.op.read").Observe(int64(10 * time.Millisecond))
+	}
+	slow.Counter("reads").Add(10)
+	fast.Counter("reads").Add(10000)
+
+	m := MergeSnapshots(slow.Snapshot(), fast.Snapshot())
+	var h *HistogramSnapshot
+	for i := range m.Histograms {
+		if m.Histograms[i].Name == "olfs.op.read" {
+			h = &m.Histograms[i]
+		}
+	}
+	if h == nil {
+		t.Fatal("merged snapshot lost the histogram")
+	}
+	if h.Count != 10010 {
+		t.Fatalf("merged count = %d, want 10010", h.Count)
+	}
+	// 99th percentile rank is 9910 of 10010 — deep inside the fast mass.
+	if h.P99 > int64(time.Second) {
+		t.Errorf("merged p99 = %v — looks like averaged percentiles; want ~10ms (fast mass)",
+			time.Duration(h.P99))
+	}
+	// Naive averaging would have produced ~50s.
+	avg := (slow.Snapshot().Histograms[0].P99 + fast.Snapshot().Histograms[0].P99) / 2
+	if avg < int64(10*time.Second) {
+		t.Fatalf("test premise broken: naive average %v not clearly wrong", time.Duration(avg))
+	}
+	// Max/min span both racks.
+	if h.Max < int64(100*time.Second) || h.Min > int64(10*time.Millisecond) {
+		t.Errorf("merged min/max = %v/%v, want to span both racks",
+			time.Duration(h.Min), time.Duration(h.Max))
+	}
+	// Counters sum.
+	for _, c := range m.Counters {
+		if c.Name == "reads" && c.Value != 10010 {
+			t.Errorf("merged reads counter = %d, want 10010", c.Value)
+		}
+	}
+	// Bucket counts survive the merge for onward (Prometheus) export.
+	var total int64
+	for _, n := range h.Buckets {
+		total += n
+	}
+	if total != 10010 {
+		t.Errorf("merged bucket mass = %d, want 10010", total)
+	}
+}
+
+func TestMergeSnapshotsEmpty(t *testing.T) {
+	m := MergeSnapshots()
+	if len(m.Counters) != 0 || len(m.Histograms) != 0 {
+		t.Errorf("empty merge not empty: %+v", m)
+	}
+	// Empty histograms are dropped rather than polluting the merge.
+	env := sim.NewEnv()
+	r := New(env)
+	r.Histogram("h") // registered, zero samples
+	m = MergeSnapshots(r.Snapshot())
+	if len(m.Histograms) != 0 {
+		t.Errorf("zero-sample histogram survived merge: %+v", m.Histograms)
+	}
+}

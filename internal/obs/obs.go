@@ -272,38 +272,76 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil || h.count == 0 {
 		return 0
 	}
+	v := BucketQuantile(h.buckets[:], h.count, q)
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
+// BucketCounts returns a copy of the histogram's power-of-two bucket counts:
+// bucket i holds samples v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, histBuckets)
+	copy(out, h.buckets[:])
+	return out
+}
+
+// BucketBound returns the exclusive upper bound of power-of-two bucket i
+// (the le= boundary for Prometheus exposition).
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return int64(1) << i
+}
+
+// BucketQuantile estimates the q-quantile of count samples distributed in
+// power-of-two buckets (the Histogram layout). It interpolates linearly
+// within the selected bucket; callers with known min/max should clamp. It is
+// the shared primitive behind Histogram.Quantile, windowed quantiles over
+// bucket deltas (timeseries.go) and merged multi-rack snapshots (merging
+// combines bucket counts and re-derives quantiles — averaging per-rack
+// percentiles would be statistically wrong).
+func BucketQuantile(buckets []int64, count int64, q float64) int64 {
+	if count == 0 {
+		return 0
+	}
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(h.count)
+	rank := q * float64(count)
 	var seen float64
-	for i, n := range h.buckets {
+	var last int64
+	for i, n := range buckets {
 		if n == 0 {
 			continue
 		}
+		lo, hi := int64(0), int64(1)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+			hi = lo * 2
+		}
 		if seen+float64(n) >= rank {
-			lo, hi := int64(0), int64(1)
-			if i > 0 {
-				lo = int64(1) << (i - 1)
-				hi = lo * 2
-			}
 			frac := (rank - seen) / float64(n)
-			est := float64(lo) + frac*float64(hi-lo)
-			v := int64(est)
-			if v < h.min {
-				v = h.min
-			}
-			if v > h.max {
-				v = h.max
-			}
-			return v
+			return int64(float64(lo) + frac*float64(hi-lo))
 		}
 		seen += float64(n)
+		last = hi
 	}
-	return h.max
+	return last
 }
 
 // Span measures one long-running operation (a burn, a fetch, an arm move).
@@ -405,6 +443,10 @@ type HistogramSnapshot struct {
 	P50   int64   `json:"p50_ns"`
 	P95   int64   `json:"p95_ns"`
 	P99   int64   `json:"p99_ns"`
+	// Buckets carries the raw power-of-two bucket counts (trailing zeros
+	// trimmed) so snapshots can be merged across racks by combining counts
+	// and re-deriving quantiles, and exported in Prometheus bucket form.
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // Snapshot is a point-in-time export of every metric in a registry, with all
@@ -443,15 +485,16 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms = append(s.Histograms, HistogramSnapshot{
-			Name:  name,
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			Min:   h.Min(),
-			Max:   h.Max(),
-			Mean:  h.Mean(),
-			P50:   h.Quantile(0.50),
-			P95:   h.Quantile(0.95),
-			P99:   h.Quantile(0.99),
+			Name:    name,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Min:     h.Min(),
+			Max:     h.Max(),
+			Mean:    h.Mean(),
+			P50:     h.Quantile(0.50),
+			P95:     h.Quantile(0.95),
+			P99:     h.Quantile(0.99),
+			Buckets: trimBuckets(h.buckets[:]),
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
@@ -463,6 +506,112 @@ func (r *Registry) Snapshot() Snapshot {
 // JSON renders the snapshot as indented, deterministic JSON.
 func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// trimBuckets copies bucket counts with trailing zeros removed (nil when all
+// zero), keeping snapshot JSON compact while preserving mergeability.
+func trimBuckets(b []int64) []int64 {
+	last := -1
+	for i, n := range b {
+		if n != 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	out := make([]int64, last+1)
+	copy(out, b[:last+1])
+	return out
+}
+
+// MergeSnapshots combines per-rack snapshots into one cluster-wide view:
+// counters and gauges with the same name sum; histograms merge by combining
+// raw bucket counts and re-deriving quantiles from the combined distribution.
+// Averaging per-rack percentiles would be wrong — a rack with 10 slow reads
+// and a rack with 10000 fast ones would report a p99 near the midpoint
+// instead of near the fast mass. Now is the max of the inputs' Now.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	counters := map[string]int64{}
+	gauges := map[string]int64{}
+	type histAcc struct {
+		buckets  [histBuckets]int64
+		count    int64
+		sum      int64
+		min, max int64
+	}
+	hists := map[string]*histAcc{}
+	for _, s := range snaps {
+		if s.Now > out.Now {
+			out.Now = s.Now
+		}
+		out.OpenSpans += s.OpenSpans
+		out.Warnings = append(out.Warnings, s.Warnings...)
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for _, h := range s.Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			a, ok := hists[h.Name]
+			if !ok {
+				a = &histAcc{min: h.Min, max: h.Max}
+				hists[h.Name] = a
+			}
+			for i, n := range h.Buckets {
+				if i < histBuckets {
+					a.buckets[i] += n
+				}
+			}
+			a.count += h.Count
+			a.sum += h.Sum
+			if h.Min < a.min {
+				a.min = h.Min
+			}
+			if h.Max > a.max {
+				a.max = h.Max
+			}
+		}
+	}
+	for name, v := range counters {
+		out.Counters = append(out.Counters, CounterSnapshot{Name: name, Value: v})
+	}
+	for name, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugeSnapshot{Name: name, Value: v})
+	}
+	clamp := func(v, lo, hi int64) int64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	for name, a := range hists {
+		hs := HistogramSnapshot{
+			Name:    name,
+			Count:   a.count,
+			Sum:     a.sum,
+			Min:     a.min,
+			Max:     a.max,
+			Mean:    float64(a.sum) / float64(a.count),
+			P50:     clamp(BucketQuantile(a.buckets[:], a.count, 0.50), a.min, a.max),
+			P95:     clamp(BucketQuantile(a.buckets[:], a.count, 0.95), a.min, a.max),
+			P99:     clamp(BucketQuantile(a.buckets[:], a.count, 0.99), a.min, a.max),
+			Buckets: trimBuckets(a.buckets[:]),
+		}
+		out.Histograms = append(out.Histograms, hs)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
 }
 
 // String renders a compact human-readable form of the snapshot.

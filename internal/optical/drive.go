@@ -150,7 +150,7 @@ type Drive struct {
 	busy   *sim.Resource
 	head   int64 // current optical head position for seek modeling
 	cold   bool  // disc inserted by the arm but not yet spun up
-	dead   bool // hardware failure (fault-injected); every operation fails
+	dead   bool  // hardware failure (fault-injected); every operation fails
 
 	// interrupt is set by InterruptBurn and checked at chunk boundaries.
 	interrupt bool
@@ -175,6 +175,7 @@ type driveMetrics struct {
 	burns       *obs.Counter
 	burnLatency *obs.Histogram
 	readLatency *obs.Histogram
+	drivesDead  *obs.Gauge
 }
 
 // AttachObs connects the drive to a metrics registry. Drives attached to the
@@ -189,6 +190,7 @@ func (dr *Drive) AttachObs(r *obs.Registry) {
 		burns:       r.Counter("optical.burns"),
 		burnLatency: r.Histogram("optical.burn.latency"),
 		readLatency: r.Histogram("optical.read.latency"),
+		drivesDead:  r.Gauge("optical.drives_dead"),
 	}
 }
 
@@ -229,9 +231,25 @@ func (dr *Drive) health(p *sim.Proc) error {
 	}
 	if err := faultinject.Check(p, faultinject.PointDriveDead, dr.ID); err != nil {
 		dr.dead = true
+		dr.m.drivesDead.Add(1)
 		return fmt.Errorf("%w: %s (%v)", ErrDriveDead, dr.ID, err)
 	}
 	return nil
+}
+
+// Replace models a field-replaceable-unit swap: a dead drive gets a fresh
+// mechanism and serves again (chaos heal phases use it, and it is what lets
+// a drives-dead alert resolve — drive death is otherwise permanent). No-op
+// on a live drive.
+func (dr *Drive) Replace() {
+	if !dr.dead {
+		return
+	}
+	dr.dead = false
+	dr.m.drivesDead.Add(-1)
+	if dr.env != nil {
+		dr.env.Emit("optical.drive.replace", dr.ID, "FRU swap")
+	}
 }
 
 // Load inserts a disc (the robotic arm has already placed it on the open

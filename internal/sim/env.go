@@ -30,6 +30,7 @@ type Env struct {
 	now    time.Duration
 	events eventHeap
 	seq    int64
+	strong int // queued events that keep Run alive (everything but weak timers)
 	yield  chan struct{}
 	live   int // processes started and not yet finished
 	parked int // processes blocked on a primitive (not in the event heap)
@@ -167,7 +168,20 @@ func (e *Env) schedule(t time.Duration, p *Proc) {
 		t = e.now
 	}
 	e.seq++
+	e.strong++
 	heap.Push(&e.events, &event{t: t, seq: e.seq, p: p})
+}
+
+// scheduleWeak enqueues a weak wakeup: it fires in time order like any other
+// event while the simulation has work, but does not by itself keep Run alive.
+// Periodic observers (the telemetry sampler) use it so that a forever-ticking
+// daemon never prevents a workload from draining to quiescence.
+func (e *Env) scheduleWeak(t time.Duration, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, p: p, weak: true})
 }
 
 // Run executes events until the event queue is empty. Processes that remain
@@ -178,8 +192,12 @@ func (e *Env) Run() {
 }
 
 // RunUntil executes events whose time is <= limit. A negative limit means
-// "run to completion". On return the virtual clock rests at the time of the
-// last executed event (Run) or at limit (RunUntil with pending later events).
+// "run to completion": events run until only weak timer wakeups remain, which
+// are left queued (a sampler tick with no workload left to observe must not
+// spin the clock forever). With a non-negative limit, weak events up to the
+// limit do fire — the caller explicitly asked for that much time to pass. On
+// return the virtual clock rests at the time of the last executed event (Run)
+// or at limit (RunUntil with pending later events).
 func (e *Env) RunUntil(limit time.Duration) {
 	for len(e.events) > 0 {
 		ev := e.events[0]
@@ -187,7 +205,13 @@ func (e *Env) RunUntil(limit time.Duration) {
 			e.now = limit
 			return
 		}
+		if limit < 0 && e.strong == 0 {
+			return // only weak timer wakeups remain: quiescent
+		}
 		heap.Pop(&e.events)
+		if !ev.weak {
+			e.strong--
+		}
 		if ev.p.finished {
 			continue // stale wakeup for a process that already exited
 		}
@@ -203,6 +227,9 @@ func (e *Env) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.events).(*event)
+	if !ev.weak {
+		e.strong--
+	}
 	if ev.p.finished {
 		return true
 	}
@@ -214,8 +241,9 @@ func (e *Env) Step() bool {
 
 // Deadlocked reports whether live processes remain parked with no pending
 // events to wake them — i.e. the simulation cannot make further progress.
+// Weak timer wakeups don't count: a ticking sampler cannot unblock anything.
 func (e *Env) Deadlocked() bool {
-	return len(e.events) == 0 && e.live > 0
+	return e.strong == 0 && e.live > 0
 }
 
 // Live returns the number of processes that have been spawned and have not
@@ -226,11 +254,13 @@ func (e *Env) Live() int { return e.live }
 func (e *Env) Pending() int { return len(e.events) }
 
 // event is a scheduled process wakeup. seq breaks ties so that events at the
-// same virtual time fire in schedule order (FIFO, deterministic).
+// same virtual time fire in schedule order (FIFO, deterministic). weak marks
+// idle-exempt timer wakeups (see scheduleWeak).
 type event struct {
-	t   time.Duration
-	seq int64
-	p   *Proc
+	t    time.Duration
+	seq  int64
+	p    *Proc
+	weak bool
 }
 
 type eventHeap []*event
@@ -294,6 +324,19 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	p.env.schedule(p.env.now+d, p)
+	p.park()
+}
+
+// SleepWeak suspends the process for d of virtual time on a weak timer: the
+// wakeup fires in order while the simulation has other work, but does not by
+// itself keep Run alive or make an otherwise-stuck simulation look live. Use
+// it for periodic background observers (metric samplers, watchdogs) that
+// should tick as long as time is advancing and go quiet when it stops.
+func (p *Proc) SleepWeak(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.scheduleWeak(p.env.now+d, p)
 	p.park()
 }
 

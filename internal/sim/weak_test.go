@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWeakSleepDoesNotKeepRunAlive is the contract the telemetry sampler
+// depends on: a daemon ticking on SleepWeak fires while the workload advances
+// the clock, but Run returns once only weak wakeups remain.
+func TestWeakSleepDoesNotKeepRunAlive(t *testing.T) {
+	env := NewEnv()
+	var ticks []time.Duration
+	env.GoDaemon("ticker", func(p *Proc) {
+		for {
+			p.SleepWeak(10 * time.Second)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	env.Go("work", func(p *Proc) {
+		p.Sleep(35 * time.Second)
+	})
+	done := make(chan struct{})
+	go func() {
+		env.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return with only a weak-ticking daemon left")
+	}
+	if got, want := len(ticks), 3; got != want {
+		t.Fatalf("ticks fired %d times (%v), want %d (at 10s/20s/30s)", got, ticks, want)
+	}
+	for i, at := range ticks {
+		if want := time.Duration(i+1) * 10 * time.Second; at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	if env.Now() != 35*time.Second {
+		t.Errorf("clock rests at %v, want 35s (the last strong event)", env.Now())
+	}
+	if env.Deadlocked() {
+		t.Error("weak wakeups alone must not read as a deadlock")
+	}
+}
+
+// TestWeakSleepFiresUnderRunUntil: with an explicit time limit the caller
+// asked for time to pass, so weak ticks fire even with no strong work queued.
+func TestWeakSleepFiresUnderRunUntil(t *testing.T) {
+	env := NewEnv()
+	ticks := 0
+	env.GoDaemon("ticker", func(p *Proc) {
+		for {
+			p.SleepWeak(10 * time.Second)
+			ticks++
+		}
+	})
+	env.RunUntil(45 * time.Second)
+	if ticks != 4 {
+		t.Fatalf("ticks = %d under RunUntil(45s), want 4", ticks)
+	}
+	if env.Now() != 45*time.Second {
+		t.Errorf("clock rests at %v, want 45s", env.Now())
+	}
+}
+
+// TestWeakSleepInterleavesDeterministically: weak ticks land between strong
+// events in strict time order.
+func TestWeakSleepInterleavesDeterministically(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.GoDaemon("ticker", func(p *Proc) {
+		for {
+			p.SleepWeak(7 * time.Second)
+			order = append(order, "tick@"+p.Now().String())
+		}
+	})
+	env.Go("work", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * time.Second)
+			order = append(order, "work@"+p.Now().String())
+		}
+	})
+	env.Run()
+	want := []string{
+		"tick@7s", "work@10s", "tick@14s", "work@20s", "tick@21s", "tick@28s", "work@30s",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}

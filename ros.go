@@ -121,6 +121,22 @@ type Options struct {
 	// faultinject.ParseSpec grammar (e.g. "optical.read:p=0.01;media.lse:once").
 	Faults string
 
+	// SampleEvery enables time-series telemetry: every registered metric is
+	// sampled into ring-buffer series at this virtual period and the alert
+	// engine evaluates its rules after each pass. 0 disables telemetry and
+	// alerting (System.Telemetry and System.Alerts are then nil).
+	SampleEvery time.Duration
+	// SampleWindow is the sliding window for derived quantiles, rates and
+	// alert evaluation (default 5m).
+	SampleWindow time.Duration
+	// Rules appends alert rules in the obs.ParseRules grammar, e.g.
+	// "deep: threshold sched.queue_depth > 64 for 5m". Only meaningful with
+	// SampleEvery > 0.
+	Rules string
+	// DisableDefaultRules drops the built-in DefaultRules pack, leaving only
+	// Options.Rules.
+	DisableDefaultRules bool
+
 	// TraceCapacity bounds the causal-trace journal (0 = default 256;
 	// negative disables request tracing entirely).
 	TraceCapacity int
@@ -161,6 +177,35 @@ type System struct {
 	// Options.Racks > 1. Library/FS/Buffer then alias rack 0's stack; routed
 	// namespace operations go through Cluster.WriteFile/ReadFile/OpenFile.
 	Cluster *cluster.Cluster
+	// Telemetry is the time-series sampler, non-nil when Options.SampleEvery
+	// is set. In cluster mode every rack's registry is a labeled source.
+	Telemetry *obs.Sampler
+	// Alerts is the SLO alert engine evaluated after every sampling pass,
+	// non-nil when Options.SampleEvery is set.
+	Alerts *obs.AlertEngine
+}
+
+// DefaultRuleSpec is the built-in alert pack in the obs.ParseRules grammar,
+// covering every layer: olfs read latency, scheduler queueing, optical drive
+// health, and the federation (rack availability, stuck re-replication, and a
+// write-SLO burn rate). Rules naming series a configuration never produces
+// (e.g. cluster.* on a single-rack system) are inert.
+const DefaultRuleSpec = `
+	olfs-read-p99: threshold olfs.op.read.p99 > 15m for 5m
+	sched-queue-deep: threshold sched.queue_depth avg > 64 for 5m
+	optical-drive-dead: threshold optical.drives_dead > 0
+	cluster-rack-offline: threshold cluster.racks_offline > 0
+	cluster-rerepl-stuck: absence cluster.rerepl_backlog above 0 window 10m
+	cluster-write-slo: burnrate cluster.route_errors / cluster.writes budget 0.01 x 10 window 5m
+`
+
+// DefaultRules parses DefaultRuleSpec.
+func DefaultRules() []obs.Rule {
+	rules, err := obs.ParseRules(DefaultRuleSpec)
+	if err != nil {
+		panic("ros: invalid DefaultRuleSpec: " + err.Error())
+	}
+	return rules
 }
 
 // New assembles a System on a fresh simulation environment.
@@ -200,6 +245,28 @@ func New(o Options) (*System, error) {
 	cfg.Trace.Capacity = o.TraceCapacity
 	cfg.Trace.SlowThreshold = o.SlowTraceThreshold
 	cfg.Trace.SampleEvery = o.TraceSampleEvery
+	var sampler *obs.Sampler
+	var alerts *obs.AlertEngine
+	if o.SampleEvery > 0 {
+		sampler = obs.NewSampler(env, obs.SamplerConfig{
+			Interval: o.SampleEvery,
+			Window:   o.SampleWindow,
+		})
+		sampler.AddSource("", reg)
+		alerts = obs.NewAlertEngine(env, sampler, reg)
+		if !o.DisableDefaultRules {
+			alerts.AddRules(DefaultRules()...)
+		}
+		if o.Rules != "" {
+			rules, err := obs.ParseRules(o.Rules)
+			if err != nil {
+				return nil, err
+			}
+			alerts.AddRules(rules...)
+		}
+		alerts.Attach()
+		sampler.Start()
+	}
 	stack := cluster.StackConfig{
 		Rollers:     o.Rollers,
 		DriveGroups: o.DriveGroups,
@@ -224,6 +291,7 @@ func New(o Options) (*System, error) {
 			Replicas: replicas,
 			Policy:   pp,
 			Stack:    stack,
+			Sampler:  sampler,
 		})
 		if err != nil {
 			return nil, err
@@ -231,14 +299,17 @@ func New(o Options) (*System, error) {
 		r0 := cl.Racks()[0]
 		return &System{
 			Env: env, Library: r0.Lib, FS: r0.FS, Buffer: r0.Buffer,
-			Obs: reg, Faults: plane, Cluster: cl,
+			Obs: reg, Faults: plane, Cluster: cl, Telemetry: sampler, Alerts: alerts,
 		}, nil
 	}
 	r0, err := cluster.NewRackStack(env, 0, stack)
 	if err != nil {
 		return nil, err
 	}
-	return &System{Env: env, Library: r0.Lib, FS: r0.FS, Buffer: r0.Buffer, Obs: reg, Faults: plane}, nil
+	return &System{
+		Env: env, Library: r0.Lib, FS: r0.FS, Buffer: r0.Buffer,
+		Obs: reg, Faults: plane, Telemetry: sampler, Alerts: alerts,
+	}, nil
 }
 
 // Do runs fn as a simulation process and drains the environment to
@@ -279,7 +350,10 @@ type Stats struct {
 	Obs obs.Snapshot
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters. In cluster mode the Obs snapshot is
+// the cluster-wide merge: the system registry (cluster.*, fault.*, alert.*)
+// combined with every rack's private registry, histograms merged by bucket
+// counts. MergedObs/RackObs give the same views directly.
 func (s *System) Stats() Stats {
 	return Stats{
 		FilesWritten:  s.FS.FilesWritten,
@@ -297,6 +371,43 @@ func (s *System) Stats() Stats {
 		Loads:         s.Library.Loads,
 		Unloads:       s.Library.Unloads,
 		TotalDiscs:    s.Library.TotalDiscs(),
-		Obs:           s.Obs.Snapshot(),
+		Obs:           s.MergedObs(),
 	}
+}
+
+// MergedObs returns the full metrics view: the system registry alone for a
+// single-rack system, or the system registry merged with every rack's
+// private registry for a federation.
+func (s *System) MergedObs() obs.Snapshot {
+	if s.Cluster == nil {
+		return s.Obs.Snapshot()
+	}
+	snaps := []obs.Snapshot{s.Obs.Snapshot()}
+	for _, r := range s.Cluster.Racks() {
+		snaps = append(snaps, r.Reg.Snapshot())
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// RackObs returns rack ri's private metrics snapshot (the per-rack
+// drill-down); for a single-rack system, rack 0 is the system registry.
+func (s *System) RackObs(ri int) obs.Snapshot {
+	if s.Cluster == nil {
+		if ri == 0 {
+			return s.Obs.Snapshot()
+		}
+		return obs.Snapshot{}
+	}
+	return s.Cluster.RackSnapshot(ri)
+}
+
+// PrometheusText renders every metric in the Prometheus text exposition
+// format: the system registry unlabeled plus one rack="rackN" labeled sample
+// set per federation member.
+func (s *System) PrometheusText() string {
+	snaps := []obs.LabeledSnapshot{{Label: "", Snap: s.Obs.Snapshot()}}
+	if s.Cluster != nil {
+		snaps = append(snaps, s.Cluster.LabeledSnapshots()...)
+	}
+	return obs.PrometheusText(snaps...)
 }
