@@ -73,6 +73,8 @@ var registry = map[string]func() (experiments.Result, error){
 	"sustained":          experiments.SustainedIngest,
 	"cluster-failover":   experiments.ClusterFailover,
 	"telemetry":          chaos.TelemetryExperiment,
+	"ingest":             experiments.IngestBench,
+	"ingest-smoke":       experiments.IngestSmoke,
 }
 
 func main() {
@@ -88,9 +90,14 @@ func main() {
 	ops := flag.Int("ops", 0, "chaos: operations per worker (default 40)")
 	clusterMode := flag.Bool("cluster", false, "shorthand for -exp cluster-failover (multi-rack scaling run)")
 	clusterRacks := flag.Int("racks", 0, "chaos: federate this many racks (cluster campaign)")
+	ingestMode := flag.Bool("ingest", false, "shorthand for -exp ingest (closed-loop write-path benchmark)")
+	overload := flag.Bool("overload", false, "chaos: add an overload phase (closed-loop ingest vs admission control)")
 	flag.Parse()
 	if *clusterMode {
 		exps = append(exps, "cluster-failover")
+	}
+	if *ingestMode {
+		exps = append(exps, "ingest")
 	}
 
 	if *chaosMode {
@@ -101,6 +108,7 @@ func main() {
 		}
 		rep, err := chaos.Run(chaos.Config{
 			Seed: *seed, Faults: *faults, Workers: *workers, Ops: *ops, Opts: opts,
+			Overload: *overload,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chaos:", err)

@@ -361,6 +361,19 @@ func dispatch(sys *ros.System, p *sim.Proc, fields []string) error {
 		d := fs.Sched().Depths()
 		fmt.Printf("  sched (%s): queued %d interactive, %d prefetch, %d burn, %d scrub\n",
 			fs.Sched().Config().Policy, d[sched.Interactive], d[sched.Prefetch], d[sched.Burn], d[sched.Scrub])
+		wp := fs.WritePath()
+		adm := wp.Admission()
+		congested := ""
+		if adm.Congested() {
+			congested = " CONGESTED"
+		}
+		cap := adm.Config().CapacityBytes
+		fmt.Printf("  writepath: batch=%s, groups=%d; admission %d/%d bytes inflight (%d%%)%s\n",
+			wp.BatchMode(), wp.Groups(),
+			adm.InflightBytes(), cap,
+			adm.InflightBytes()*100/max64(cap, 1), congested)
+		fmt.Printf("  writepath: queued %d, shed %d (peak inflight %d)\n",
+			adm.QueueLen(), adm.Sheds(), adm.MaxInflightBytes())
 	case "stats":
 		asJSON := false
 		snap := sys.Obs.Snapshot()
@@ -629,4 +642,11 @@ func parseSize(s string) (int64, error) {
 		return 0, fmt.Errorf("bad size %q", s)
 	}
 	return n * mult, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -351,6 +351,16 @@ func (m *Manager) FilledUnburned() []*Bucket {
 	return out
 }
 
+// BytesByState sums payload bytes across slots per lifecycle state —
+// write-path occupancy accounting (admission control, status output).
+func (m *Manager) BytesByState() map[State]int64 {
+	out := make(map[State]int64)
+	for _, b := range m.slots {
+		out[b.state] += b.Used()
+	}
+	return out
+}
+
 // Debug, when set, prints slot state transitions (temporary diagnostics).
 var Debug bool
 

@@ -31,6 +31,7 @@ package chaos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -45,6 +46,7 @@ import (
 	"ros/internal/olfs"
 	"ros/internal/rack"
 	"ros/internal/sim"
+	"ros/internal/writepath"
 )
 
 // DefaultFaults is the campaign's default fault mix: transient read and burn
@@ -71,6 +73,14 @@ type Config struct {
 	Ops int
 	// FileBytes caps the size of written files (default 192 KiB).
 	FileBytes int
+	// Overload adds an overload phase after the chaos workload: closed-loop
+	// ingest workers flood the write path far past burn capacity against
+	// enabled admission control (small token bucket, deadline shedding). The
+	// oracle then additionally checks that inflight write-buffer bytes never
+	// exceeded capacity, every shed write got writepath.ErrOverload, and all
+	// admission tokens returned after the heal. Off by default so existing
+	// seeds replay unchanged.
+	Overload bool
 	// Opts overrides the system assembly; zero fields take chaos-friendly
 	// defaults (1 MB buckets, disc-backed reads after burn).
 	Opts ros.Options
@@ -90,6 +100,10 @@ type Report struct {
 
 	HealRounds int
 	Violations []string // invariant violations; empty means the campaign passed
+
+	// Shed counts writes rejected by admission control during an overload
+	// phase (Config.Overload); every one carried writepath.ErrOverload.
+	Shed int64
 
 	// Alert-oracle results (campaigns run with telemetry enabled, the
 	// default). AlertIncidents is the engine's full fire→resolve log;
@@ -125,6 +139,9 @@ func (r *Report) String() string {
 		r.Seed, r.Faults, r.Injected, r.HealRounds)
 	for _, k := range sortedKeys(r.Ops) {
 		fmt.Fprintf(&b, "  op %-8s %5d attempted, %d tolerated errors\n", k, r.Ops[k], r.OpErrors[k])
+	}
+	if r.Shed > 0 {
+		fmt.Fprintf(&b, "  overload: %d writes shed (ErrOverload)\n", r.Shed)
 	}
 	for _, k := range sortedKeys(r.FaultCounters) {
 		fmt.Fprintf(&b, "  %-24s %d\n", k, r.FaultCounters[k])
@@ -196,6 +213,17 @@ func Run(cfg Config) (*Report, error) {
 	}
 	opts.FaultSeed = cfg.Seed
 	opts.Faults = spec
+	if cfg.Overload && opts.Write == (ros.WriteConfig{}) {
+		// A small token bucket with a short deadline makes the closed loop
+		// overrun capacity quickly and shed visibly within the campaign.
+		opts.Write = ros.WriteConfig{
+			Admission: ros.AdmissionConfig{
+				Enabled:       true,
+				CapacityBytes: 6 << 20,
+				MaxWait:       90 * time.Second,
+			},
+		}
+	}
 	if opts.SampleEvery == 0 {
 		// Campaigns run with telemetry and the default alert rules on, so the
 		// alert oracle can hold injected faults to the detection contract.
@@ -220,6 +248,9 @@ func Run(cfg Config) (*Report, error) {
 	var acked [][]ackedFile
 	campaignErr := sys.Do(func(p *sim.Proc) error {
 		acked = runWorkers(sys, p, cfg, rep)
+		if cfg.Overload {
+			acked = append(acked, runOverload(sys, p, cfg, rep))
+		}
 
 		// The fault schedule is complete once the workload stops; capture it
 		// before healing (Clear keeps events, but the report should show the
@@ -229,6 +260,9 @@ func Run(cfg Config) (*Report, error) {
 
 		heal(sys, p, rep)
 		oracle(sys, p, flatten(acked), rep)
+		if cfg.Overload {
+			overloadOracle(sys, rep)
+		}
 		alertOracle(sys, p, rep)
 		return nil
 	})
@@ -526,6 +560,85 @@ func clusterWorker(sys *ros.System, p *sim.Proc, cfg Config, wi int, rep *Report
 		}
 	}
 	return mine
+}
+
+// runOverload is the overload phase: closed-loop ingest workers flood the
+// write path (each issues its next write the instant the previous one is
+// acknowledged or shed), far outrunning the optical drain, so admission
+// control must throttle and shed. Shed writes retry after a short backoff;
+// acked writes join the durability set the oracle reads back. The workers
+// are separate from the chaos mix — their rand streams never touch the
+// shared worker streams, so pre-existing seeds replay unchanged.
+func runOverload(sys *ros.System, p *sim.Proc, cfg Config, rep *Report) []ackedFile {
+	workers := cfg.Workers
+	var acked []ackedFile
+	done := make([]*sim.Completion[int], workers)
+	perWorker := make([][]ackedFile, workers)
+	for wi := 0; wi < workers; wi++ {
+		wi := wi
+		done[wi] = sim.NewCompletion[int](sys.Env)
+		sys.Env.Go(fmt.Sprintf("chaos.overload%d", wi), func(wp *sim.Proc) {
+			perWorker[wi] = overloadWorker(sys, wp, cfg, wi, rep)
+			done[wi].Resolve(wi, nil)
+		})
+	}
+	for _, c := range done {
+		c.Wait(p)
+	}
+	for _, fs := range perWorker {
+		acked = append(acked, fs...)
+	}
+	return acked
+}
+
+// overloadWorker issues one closed-loop ingest stream. Ops land in a
+// namespace disjoint from the chaos workers'.
+func overloadWorker(sys *ros.System, p *sim.Proc, cfg Config, wi int, rep *Report) []ackedFile {
+	rng := rand.New(rand.NewSource(cfg.Seed*31337 + int64(wi)*65537 + 5))
+	var mine []ackedFile
+	for op := 0; op < cfg.Ops; op++ {
+		rep.Ops["ingest"]++
+		path := fmt.Sprintf("/overload/w%d/f%04d", wi, op)
+		n := 1024 + rng.Intn(cfg.FileBytes-1023)
+		data := payload(n, cfg.Seed*3+1, wi, op)
+		var err error
+		if sys.Cluster != nil {
+			err = sys.Cluster.WriteFile(p, path, data)
+		} else {
+			err = sys.FS.WriteFile(p, path, data)
+		}
+		switch {
+		case err == nil:
+			mine = append(mine, ackedFile{path: path, data: data})
+		case errors.Is(err, writepath.ErrOverload):
+			rep.Shed++
+			p.Sleep(15 * time.Second) // back off, then keep flooding
+		default:
+			// Fault-driven write errors are tolerated like any chaos-phase
+			// error; only a shed must carry ErrOverload.
+			rep.OpErrors["ingest"]++
+		}
+	}
+	return mine
+}
+
+// overloadOracle holds the admission plane to its contract after the heal:
+// inflight bytes never exceeded the token-bucket capacity, and every token
+// returned once the heal burned the buffer down (an imbalance means a
+// grant/release accounting leak).
+func overloadOracle(sys *ros.System, rep *Report) {
+	for ri, fs := range fileSystems(sys) {
+		adm := fs.WritePath().Admission()
+		if cap := adm.Config().CapacityBytes; adm.MaxInflightBytes() > cap {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("overload: rack %d peak inflight %d exceeded capacity %d",
+					ri, adm.MaxInflightBytes(), cap))
+		}
+		if n := adm.InflightBytes(); n != 0 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("overload: rack %d leaked %d inflight bytes after heal", ri, n))
+		}
+	}
 }
 
 // maxHealRounds bounds the heal phase; with faults cleared each round only

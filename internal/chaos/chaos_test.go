@@ -127,6 +127,58 @@ func TestChaosFaultFree(t *testing.T) {
 // the 2+1 redundancy bound (see TestChaosViolationReproduces).
 const violationSeed = 77
 
+// overloadSeeds drive the overload campaigns (Config.Overload); disjoint
+// from the smoke seeds because the overload phase adds its own workers.
+var overloadSeeds = []int64{61, 62}
+
+// TestChaosOverloadSeeds runs the default fault mix plus the overload phase:
+// closed-loop ingest floods a 6 MB admission bucket, so writes must shed
+// with ErrOverload while every acked write stays durable, inflight bytes
+// never exceed capacity, and all tokens return after the heal.
+func TestChaosOverloadSeeds(t *testing.T) {
+	for _, seed := range overloadSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rep, err := Run(Config{Seed: seed, Overload: true})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Failed() {
+				t.Fatalf("invariant violations:\n%s", rep.String())
+			}
+			if rep.Ops["ingest"] == 0 {
+				t.Error("overload phase issued no ingest ops")
+			}
+			if rep.Shed == 0 {
+				t.Error("overload campaign shed nothing — admission control never engaged")
+			}
+		})
+	}
+}
+
+// TestChaosOverloadDeterministicReplay: the overload phase rides the same
+// deterministic clock — identical seed, identical shed count and op mix.
+func TestChaosOverloadDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 63, Overload: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Shed != b.Shed {
+		t.Errorf("shed counts differ: %d vs %d", a.Shed, b.Shed)
+	}
+	if !reflect.DeepEqual(a.Ops, b.Ops) || !reflect.DeepEqual(a.OpErrors, b.OpErrors) {
+		t.Errorf("op mix differs: %v/%v vs %v/%v", a.Ops, a.OpErrors, b.Ops, b.OpErrors)
+	}
+	if !reflect.DeepEqual(a.Violations, b.Violations) {
+		t.Errorf("violations differ: %v vs %v", a.Violations, b.Violations)
+	}
+}
+
 // clusterSeeds drive the federation campaigns; they are disjoint from the
 // single-rack smoke seeds because the cluster worker has its own op mix.
 var clusterSeeds = []int64{11, 12, 13}

@@ -32,6 +32,7 @@ import (
 	"ros/internal/obs"
 	"ros/internal/sched"
 	"ros/internal/sim"
+	"ros/internal/writepath"
 )
 
 // Cluster errors.
@@ -860,8 +861,10 @@ func (c *Cluster) rereplicate(p *sim.Proc, path string) {
 		c.m.rereplFailed.Add(1)
 		return
 	}
+	// Re-replication is background repair traffic: it draws from the
+	// archival admission reservation, never starving interactive ingest.
 	err = c.routeTo(p, "rereplicate", target[0], func(r *Rack) error {
-		return r.FS.WriteFile(p, path, data)
+		return r.FS.WriteFileClass(p, path, data, writepath.Archival)
 	})
 	if err != nil {
 		c.placer.unplace(target[0])
@@ -902,6 +905,11 @@ type RackStatus struct {
 	Loads    int64  `json:"tray_loads"`
 	Burns    int64  `json:"burn_tasks"`
 	Failures int64  `json:"-"`
+
+	// Write-path admission state (per-rack token bucket).
+	WriteInflight int64 `json:"write_inflight_bytes"`
+	WriteShed     int64 `json:"write_shed"`
+	WriteQueued   int   `json:"write_queued"`
 }
 
 // Status is the operational snapshot rosctl cluster status renders.
@@ -954,14 +962,18 @@ func (c *Cluster) Status() Status {
 		ImbalancePct: c.placer.imbalancePct(),
 	}
 	for i, r := range c.racks {
+		adm := r.FS.WritePath().Admission()
 		st.Racks = append(st.Racks, RackStatus{
-			Index:  i,
-			Name:   r.Name,
-			Health: r.health.String(),
-			Load:   c.placer.loads[i],
-			Discs:  r.Lib.TotalDiscs(),
-			Loads:  r.Lib.Loads,
-			Burns:  r.FS.BurnTasks,
+			Index:         i,
+			Name:          r.Name,
+			Health:        r.health.String(),
+			Load:          c.placer.loads[i],
+			Discs:         r.Lib.TotalDiscs(),
+			Loads:         r.Lib.Loads,
+			Burns:         r.FS.BurnTasks,
+			WriteInflight: adm.InflightBytes(),
+			WriteShed:     adm.Sheds(),
+			WriteQueued:   adm.QueueLen(),
 		})
 	}
 	return st

@@ -1,0 +1,86 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseRules fuzzes the fault-rule grammar: any input must either be
+// rejected with an error or yield rules that (a) satisfy the documented
+// field invariants and (b) survive a Spec() -> ParseRule round trip
+// unchanged. Historical escapes this guards against: p=NaN slipping past
+// the range check, and negative from=/to= windows that parsed fine but
+// were silently dropped by Spec().
+func FuzzParseRules(f *testing.F) {
+	seeds := []string{
+		// The grammar doc's examples.
+		"optical.read:p=0.01",
+		"optical.burn@g0-d03:once",
+		"media.lse:p=0.005,from=10m,to=2h",
+		"rack.arm.jam:every=4,count=2",
+		// Multi-rule specs, whitespace, empty fragments.
+		"optical.read:p=0.5; media.lse:once",
+		"  optical.verify  @  d7  :  after=3  ",
+		";;optical.read;;",
+		// Every option together.
+		"tray.load:p=1,every=2,count=9,after=1,from=1h30m,to=48h",
+		// Past parser escapes.
+		"media.lse:p=NaN",
+		"media.lse:p=nan",
+		"optical.read:from=-10m",
+		"optical.read:to=-1ns",
+		// Boundary and malformed inputs.
+		"optical.read:p=0",
+		"optical.read:p=1.0000001",
+		"optical.read:p=+Inf",
+		"optical.read:every=0",
+		"optical.read:count=-3",
+		"optical.read:once=yes",
+		"optical.read:p",
+		"optical.read:=",
+		"bogus.point:p=0.5",
+		"optical.read:bogus=1",
+		"@match-without-point",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		for i := range rules {
+			r := rules[i]
+			if !knownPoints[r.Point] {
+				t.Fatalf("spec %q: rule %d has unknown point %q", spec, i, r.Point)
+			}
+			if math.IsNaN(r.Prob) || r.Prob < 0 || r.Prob > 1 {
+				t.Fatalf("spec %q: rule %d probability %v outside [0,1]", spec, i, r.Prob)
+			}
+			if r.Nth < 0 || r.Count < 0 || r.After < 0 {
+				t.Fatalf("spec %q: rule %d has negative counter: %+v", spec, i, r)
+			}
+			if r.From < 0 || r.To < 0 {
+				t.Fatalf("spec %q: rule %d has negative window: %+v", spec, i, r)
+			}
+			// Round trip: formatting and re-parsing must preserve the rule.
+			// every=1 means "every eligible evaluation", same as the unset
+			// default, and Spec() normalizes it away.
+			want := r
+			if want.Nth == 1 {
+				want.Nth = 0
+			}
+			out := r.Spec()
+			got, rerr := ParseRule(out)
+			if rerr != nil {
+				t.Fatalf("spec %q: rule %d Spec()=%q does not re-parse: %v", spec, i, out, rerr)
+			}
+			if got != want {
+				t.Fatalf("spec %q: rule %d round trip changed:\n  parsed %+v\n  spec   %q\n  reparse %+v",
+					spec, i, want, out, got)
+			}
+		}
+	})
+}

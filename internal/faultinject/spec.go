@@ -83,7 +83,9 @@ func ParseRule(s string) (Rule, error) {
 			r.Count = 1
 		case "p":
 			r.Prob, err = strconv.ParseFloat(val, 64)
-			if err == nil && (r.Prob <= 0 || r.Prob > 1) {
+			// Inverted comparison so NaN (which fails every ordering) is
+			// rejected rather than slipping past a <=0 || >1 check.
+			if err == nil && !(r.Prob > 0 && r.Prob <= 1) {
 				err = fmt.Errorf("probability %v out of (0,1]", r.Prob)
 			}
 		case "every":
@@ -93,9 +95,9 @@ func ParseRule(s string) (Rule, error) {
 		case "after":
 			r.After, err = parsePositive(val)
 		case "from":
-			r.From, err = time.ParseDuration(val)
+			r.From, err = parseWindow(val)
 		case "to":
-			r.To, err = time.ParseDuration(val)
+			r.To, err = parseWindow(val)
 		default:
 			err = fmt.Errorf("unknown option %q", key)
 		}
@@ -104,6 +106,17 @@ func ParseRule(s string) (Rule, error) {
 		}
 	}
 	return r, nil
+}
+
+// parseWindow parses a from=/to= bound. Virtual time starts at zero, so a
+// negative bound can never match — and Spec() would silently drop it,
+// breaking the parse/format round trip — so reject it outright.
+func parseWindow(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err == nil && d < 0 {
+		err = fmt.Errorf("window bound %v must not be negative", d)
+	}
+	return d, err
 }
 
 func parsePositive(s string) (int64, error) {

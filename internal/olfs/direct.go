@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ros/internal/sim"
+	"ros/internal/writepath"
 )
 
 // Direct-writing mode (§4.8): "we provide a direct-writing mode where
@@ -71,7 +72,7 @@ func (fs *FS) moverDaemon(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		if err := fs.WriteFile(p, it.path, it.data); err != nil && fs.moverErr == nil {
+		if err := fs.WriteFileClass(p, it.path, it.data, writepath.Archival); err != nil && fs.moverErr == nil {
 			fs.moverErr = fmt.Errorf("olfs: direct mover %s: %w", it.path, err)
 		}
 		fs.moverPending--

@@ -35,6 +35,7 @@ import (
 	"ros/internal/sched"
 	"ros/internal/sim"
 	"ros/internal/udf"
+	"ros/internal/writepath"
 )
 
 // ReadPolicy selects what a fetch does when every drive group is burning
@@ -104,6 +105,13 @@ type Config struct {
 	// aging, SCAN fetch ordering and LRU+demand victim selection.
 	Sched sched.Config
 
+	// Write configures the write-path group-commit burn batching and the
+	// admission token bucket (internal/writepath). The zero value keeps
+	// the legacy discipline: one burn group per full set, byte accounting
+	// on, blocking admission off. A zero Admission.CapacityBytes defaults
+	// to the write buffer's total bucket capacity.
+	Write writepath.Config
+
 	// Obs is the metrics registry to record into. Nil falls back to the
 	// rack library's registry, so the whole stack shares one snapshot.
 	Obs *obs.Registry
@@ -171,7 +179,8 @@ type FS struct {
 	curMu *sim.Resource  // serializes bucket writes (one PBW stream)
 
 	burnQ      *sim.Queue[*burnTask]
-	sched      *sched.Scheduler // arbitrates drive groups and arm demand
+	sched      *sched.Scheduler     // arbitrates drive groups and arm demand
+	wp         *writepath.Controller // admission control + burn-group planning
 	fetches    map[string]*sim.Completion[int]
 	fetchJoins map[string]int // waiters coalesced onto an in-flight fetch
 	mounted    map[*optical.Drive]*udf.Volume
@@ -327,6 +336,12 @@ func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buff
 	scfg := cfg.Sched
 	scfg.Obs = reg
 	fs.sched = sched.New(env, scfg, lib)
+	wcfg := cfg.Write
+	if wcfg.Admission.CapacityBytes <= 0 {
+		wcfg.Admission.CapacityBytes = int64(slots) * discCap
+	}
+	fs.wp = writepath.New(env, wcfg, scfg, reg)
+	fs.wp.OnFlush(fs.maybeEnqueueBurn)
 	// The §4.8 interrupt-burn read policy: when a fetch is starved because
 	// every group is claimed or burning, abort one burning array at its
 	// next chunk boundary; the burn task unloads, requeues itself in
@@ -353,6 +368,10 @@ func New(env *sim.Env, cfg Config, lib *rack.Library, mvBackend mv.Backend, buff
 // Sched returns the mechanical request scheduler (operational visibility:
 // queue depths, per-class waits).
 func (fs *FS) Sched() *sched.Scheduler { return fs.sched }
+
+// WritePath returns the write-path controller: admission token bucket,
+// burn-group planner, verify pipeline (operational visibility + tests).
+func (fs *FS) WritePath() *writepath.Controller { return fs.wp }
 
 // Config returns the effective configuration.
 func (fs *FS) Config() Config { return fs.cfg }
@@ -503,31 +522,43 @@ func (fs *FS) FlushAndBurn(p *sim.Proc) (*sim.Completion[error], error) {
 	return all, nil
 }
 
-// maybeEnqueueBurn creates burn tasks while full data sets are available.
+// maybeEnqueueBurn asks the write-path planner for burn groups while it
+// has any to give. In the legacy discipline each full data set comes back
+// as its own single-set group (so multiple drive groups still burn
+// concurrently); under group commit several sets return as one group that
+// shares a single sched claim.
 func (fs *FS) maybeEnqueueBurn() {
 	if !fs.cfg.AutoBurn {
 		return
 	}
 	for {
 		ready := fs.Buckets.FilledUnburned()
-		if len(ready) < fs.cfg.DataDiscs {
+		sets := fs.wp.PlanBurn(ready, fs.cfg.DataDiscs)
+		if len(sets) == 0 {
 			return
 		}
-		fs.enqueueBurn(ready[:fs.cfg.DataDiscs])
+		fs.enqueueBurnGroup(sets)
 	}
 }
 
-// enqueueBurn marks the images burning and queues the task.
+// enqueueBurn queues one image set as a single-set burn group (the
+// FlushAndBurn path, which bypasses the batching planner).
 func (fs *FS) enqueueBurn(imgs []*bucket.Bucket) *sim.Completion[error] {
-	for _, b := range imgs {
-		// Ignore errors: FilledUnburned guarantees the filled state.
-		_ = fs.Buckets.MarkBurning(b)
+	return fs.enqueueBurnGroup([][]*bucket.Bucket{imgs})
+}
+
+// enqueueBurnGroup marks the group's images burning and queues the task.
+func (fs *FS) enqueueBurnGroup(sets [][]*bucket.Bucket) *sim.Completion[error] {
+	t := &burnTask{done: sim.NewCompletion[error](fs.env)}
+	for _, imgs := range sets {
+		for _, b := range imgs {
+			// Ignore errors: FilledUnburned guarantees the filled state.
+			_ = fs.Buckets.MarkBurning(b)
+		}
+		t.sets = append(t.sets, &burnSet{images: imgs})
 	}
-	t := &burnTask{
-		images: imgs,
-		done:   sim.NewCompletion[error](fs.env),
-	}
-	fs.m.burnTasks.Add(1)
+	fs.m.burnTasks.Add(int64(len(sets)))
+	fs.wp.NoteGroup(sets)
 	fs.burnQ.Push(t)
 	return t.done
 }

@@ -8,6 +8,7 @@ import (
 	"ros/internal/mv"
 	"ros/internal/sim"
 	"ros/internal/udf"
+	"ros/internal/writepath"
 )
 
 // fileWriter is an open-for-write OLFS file: data streams into the current
@@ -17,13 +18,14 @@ type fileWriter struct {
 	fs   *FS
 	path string
 
-	w        *udf.Writer // writer into the current bucket, nil before first byte
-	curID    image.ID    // bucket receiving the current subfile
-	parts    []image.ID  // completed subfile locations
-	partLens []int64     // completed subfile lengths
-	partName string      // unique path used inside images (versioned for updates)
-	version  int         // version number this writer will commit
-	forepart []byte      // first bytes retained for MV (§4.8)
+	w        *udf.Writer     // writer into the current bucket, nil before first byte
+	curID    image.ID        // bucket receiving the current subfile
+	parts    []image.ID      // completed subfile locations
+	partLens []int64         // completed subfile lengths
+	partName string          // unique path used inside images (versioned for updates)
+	version  int             // version number this writer will commit
+	class    writepath.Class // admission class charged for this writer's bytes
+	forepart []byte          // first bytes retained for MV (§4.8)
 	size     int64
 	closed   bool
 }
@@ -42,6 +44,13 @@ func internalName(path string, version int) string {
 // Create opens path for writing. Fig 7's write prologue: stat (lookup index
 // file), mknod (create index), stat (re-validate).
 func (fs *FS) CreateFile(p *sim.Proc, path string) (*fileWriter, error) {
+	return fs.CreateFileClass(p, path, writepath.Interactive)
+}
+
+// CreateFileClass opens path for writing under an explicit admission class.
+// Archival writers (mover traffic, re-replication) draw from the archival
+// token reservation instead of competing with interactive ingest.
+func (fs *FS) CreateFileClass(p *sim.Proc, path string, cl writepath.Class) (*fileWriter, error) {
 	if fs.stopped {
 		return nil, ErrStopped
 	}
@@ -78,6 +87,7 @@ func (fs *FS) CreateFile(p *sim.Proc, path string) (*fileWriter, error) {
 		fs:       fs,
 		path:     path,
 		version:  version,
+		class:    cl,
 		partName: internalName(path, version),
 	}, nil
 }
@@ -89,13 +99,24 @@ func (fw *fileWriter) Write(p *sim.Proc, data []byte) (int, error) {
 		return 0, fmt.Errorf("olfs: write to closed file %s", fw.path)
 	}
 	fs := fw.fs
+	if err := fs.wp.Admit(p, fw.class, int64(len(data))); err != nil {
+		return 0, err
+	}
+	var landed int64
 	if err := fs.dataOp(p, "write", func() error {
 		p.Sleep(fs.cfg.WriteReqOverhead)
 		if fs.cfg.DirectIO {
 			fs.chargeMVOp(p) // per-write journal sync (§5.2 tracing setup)
 		}
-		return fw.writeLocked(p, data)
+		var werr error
+		landed, werr = fw.writeLocked(p, data)
+		return werr
 	}); err != nil {
+		// Bytes that reached a bucket stay charged there (they occupy the
+		// buffer and drain through the burn pipeline); return the rest.
+		if rem := int64(len(data)) - landed; rem > 0 {
+			fs.wp.Release(fw.class, rem)
+		}
 		return 0, err
 	}
 	if fs.cfg.Forepart && len(fw.forepart) < mv.MaxForepart {
@@ -110,60 +131,65 @@ func (fw *fileWriter) Write(p *sim.Proc, data []byte) (int, error) {
 	return len(data), nil
 }
 
-// writeLocked pushes data into buckets under the bucket mutex.
-func (fw *fileWriter) writeLocked(p *sim.Proc, data []byte) error {
+// writeLocked pushes data into buckets under the bucket mutex. It returns
+// the number of bytes that landed in buckets (and were attributed to them
+// for admission accounting) even when it fails partway.
+func (fw *fileWriter) writeLocked(p *sim.Proc, data []byte) (int64, error) {
 	fs := fw.fs
 	fs.curMu.Acquire(p)
 	defer fs.curMu.Release()
+	var landed int64
 	for len(data) > 0 {
 		if fw.w == nil {
 			b, err := fs.ensureBucket(p)
 			if err != nil {
-				return err
+				return landed, err
 			}
 			w, err := b.Vol.CreateWriter(p, fw.partName)
 			if err != nil {
 				if err == udf.ErrNoSpace {
 					// Bucket can't even hold the entry/dirs: seal and retry.
 					if serr := fs.sealCurrent(p); serr != nil {
-						return serr
+						return landed, serr
 					}
 					continue
 				}
-				return err
+				return landed, err
 			}
 			fw.w = w
 			fw.curID = b.ID
 		}
 		n, err := fw.w.Write(p, data)
+		fs.wp.ChargeBucket(fw.curID, fw.class, int64(n))
+		landed += int64(n)
 		data = data[n:]
 		if err == nil {
 			break
 		}
 		if err != udf.ErrNoSpace {
-			return err
+			return landed, err
 		}
 		// Current bucket full: finish this subfile, seal the bucket, and
 		// continue in a new one with a link back to the previous subfile
 		// (§4.5).
 		if cerr := fw.finishSubfile(p); cerr != nil {
-			return cerr
+			return landed, cerr
 		}
 		if serr := fs.sealCurrent(p); serr != nil {
-			return serr
+			return landed, serr
 		}
 		b, err := fs.ensureBucket(p)
 		if err != nil {
-			return err
+			return landed, err
 		}
 		link := fmt.Sprintf("%s.__rosprev%d", fw.partName, len(fw.parts))
 		target := fmt.Sprintf("image:%s%s", fw.parts[len(fw.parts)-1], fw.partName)
 		if err := b.Vol.WriteLink(p, link, target); err != nil {
-			return err
+			return landed, err
 		}
 		fs.m.splitFiles.Add(1)
 	}
-	return nil
+	return landed, nil
 }
 
 // finishSubfile closes the current UDF writer and records the part.
@@ -219,13 +245,18 @@ func (fw *fileWriter) Close(p *sim.Proc) error {
 	})
 }
 
-// WriteFile is the whole-file convenience wrapper.
-func (fs *FS) WriteFile(p *sim.Proc, path string, data []byte) (err error) {
-	op := fs.tracer.StartOp(p, "olfs.write", "interactive")
+// WriteFile is the whole-file convenience wrapper (interactive class).
+func (fs *FS) WriteFile(p *sim.Proc, path string, data []byte) error {
+	return fs.WriteFileClass(p, path, data, writepath.Interactive)
+}
+
+// WriteFileClass writes a whole file under an explicit admission class.
+func (fs *FS) WriteFileClass(p *sim.Proc, path string, data []byte, cl writepath.Class) (err error) {
+	op := fs.tracer.StartOp(p, "olfs.write", cl.String())
 	op.Annotate("path", path)
 	op.Annotate("bytes", fmt.Sprintf("%d", len(data)))
 	defer func() { op.Finish(p, err) }()
-	fw, err := fs.CreateFile(p, path)
+	fw, err := fs.CreateFileClass(p, path, cl)
 	if err != nil {
 		return err
 	}

@@ -125,6 +125,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// EffectiveWeight returns the defaulted base weight of class cl — exported
+// so admission control (internal/writepath) drains its queue in the same
+// priority order the mechanical scheduler uses.
+func (c Config) EffectiveWeight(cl Class) int {
+	if cl < 0 || cl >= NumClasses {
+		return 0
+	}
+	return c.withDefaults().Weights[cl]
+}
+
+// EffectiveAging returns the defaulted aging step (see AgingStep).
+func (c Config) EffectiveAging() time.Duration { return c.withDefaults().AgingStep }
+
 // Grant is the scheduler's answer to an Acquire: which drive group to use
 // and what mechanical work the caller owes before using it.
 type Grant struct {

@@ -1,0 +1,169 @@
+// Package writepath implements the group-commit burn pipeline and the
+// class-aware admission control in front of the HDD write buffer.
+//
+// ROS's structural bottleneck is the optical tier: a 25 GB disc burns in
+// ~675 s (Table 1/2), so sustained ingest above the burn rate must either
+// fill the write buffer without bound or be shed explicitly. This package
+// supplies the two disciplines that keep the write path stable under
+// overload:
+//
+//   - Burn batching (group commit). Sealed images accumulate into burn
+//     groups (BurnBatchBytes / BurnBatchLinger on the sim clock); one sched
+//     burn request is submitted per group, so a single arm trip and drive
+//     spin-up amortize across N image sets, and verify of group k can
+//     pipeline with the burn of group k+1 on idle drives.
+//   - Admission control. A token bucket over write-buffer bytes-in-flight
+//     with per-class (interactive/archival) reservations. Above a
+//     high-water mark new writes block on a bounded admission queue with
+//     deadline-aware shedding (ErrOverload); acked data is never dropped,
+//     and the queue drains in sched QoS-class order.
+//
+// Byte accounting is always on (it feeds the writepath.* gauges and the
+// write-buffer-full alert rule); blocking admission engages only when
+// AdmissionConfig.Enabled is set, so the default write path keeps its
+// legacy error semantics (bucket.ErrNoFreeSlot on a full buffer).
+package writepath
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ros/internal/sched"
+)
+
+// Errors returned by admission control.
+var (
+	// ErrOverload reports that a write was shed by admission control: the
+	// write buffer is above its high-water mark and the write either found
+	// the admission queue full, asked for more than the buffer can ever
+	// grant, or timed out waiting. The data was not acked and not stored.
+	ErrOverload = errors.New("writepath: write shed by admission control (write buffer overloaded)")
+	// ErrCanceled reports that an admission wait was canceled by its
+	// issuer before being granted.
+	ErrCanceled = errors.New("writepath: admission wait canceled")
+)
+
+// Class partitions write traffic for admission accounting and queue drain
+// order. It is deliberately coarser than sched.Class: admission throttles
+// producers, the mechanical scheduler orders consumers.
+type Class int
+
+// The admission classes.
+const (
+	// Interactive is foreground client writes: a user is waiting for the
+	// ack.
+	Interactive Class = iota
+	// Archival is bulk traffic: direct-mode ingest, cluster
+	// re-replication, migration. It tolerates latency but must not be
+	// starved (it gets a reserved buffer share).
+	Archival
+	// NumClasses is the number of admission classes.
+	NumClasses
+)
+
+// String returns the metric-friendly class name.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Archival:
+		return "archival"
+	}
+	return fmt.Sprintf("class%d", int(c))
+}
+
+// SchedClass maps an admission class onto the mechanical QoS class whose
+// weight orders the admission-queue drain (interactive writes outrank bulk
+// traffic exactly as interactive reads outrank burns).
+func (c Class) SchedClass() sched.Class {
+	if c == Interactive {
+		return sched.Interactive
+	}
+	return sched.Burn
+}
+
+// AdmissionConfig tunes the token bucket over write-buffer bytes-in-flight.
+// Zero fields take the documented defaults.
+type AdmissionConfig struct {
+	// Enabled turns on blocking admission and shedding. When false, byte
+	// accounting still runs (gauges, alert rule, status) but writes are
+	// never blocked or shed here.
+	Enabled bool
+	// CapacityBytes is the token-bucket capacity. olfs defaults it to the
+	// write buffer's bucket-slot capacity (slots x disc capacity).
+	CapacityBytes int64
+	// HighWater is the buffer fill fraction above which the bucket turns
+	// congested: new writes (beyond class reservation floors) queue
+	// instead of being granted (default 0.90).
+	HighWater float64
+	// LowWater is the fill fraction at which a congested bucket clears
+	// (default 0.75). The gap is hysteresis: without it the boundary
+	// oscillates on every grant/release pair.
+	LowWater float64
+	// Reserve is the per-class guaranteed buffer share (fraction of
+	// CapacityBytes). A class is always admitted up to its floor, even
+	// while congested, so bulk traffic cannot lock interactive writes out
+	// of the buffer or vice versa. Defaults: interactive 0.10, archival
+	// 0.05. The fractions must sum to <= 1.
+	Reserve [NumClasses]float64
+	// MaxQueue bounds the admission queue; writes arriving beyond it are
+	// shed immediately (default 64).
+	MaxQueue int
+	// MaxWait is the queue-wait deadline: a write still queued after
+	// MaxWait is shed with ErrOverload (default 5 min; 0 keeps the
+	// default, negative disables deadline shedding).
+	MaxWait time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.HighWater == 0 {
+		c.HighWater = 0.90
+	}
+	if c.LowWater == 0 {
+		c.LowWater = 0.75
+	}
+	if c.Reserve[Interactive] == 0 {
+		c.Reserve[Interactive] = 0.10
+	}
+	if c.Reserve[Archival] == 0 {
+		c.Reserve[Archival] = 0.05
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 5 * time.Minute
+	}
+	return c
+}
+
+// BatchConfig tunes burn-group commit.
+type BatchConfig struct {
+	// BurnBatchBytes switches on byte-threshold group commit: sealed
+	// images accumulate until their payload reaches this many bytes, then
+	// every full data set is submitted as ONE burn group under a single
+	// sched claim. Zero keeps the legacy discipline — each full set is
+	// its own group, submitted as soon as it exists (bit-compatible with
+	// the pre-batching write path).
+	BurnBatchBytes int64
+	// BurnBatchLinger bounds how long a partial batch may wait for more
+	// data on the sim clock; when it expires everything staged (including
+	// a trailing partial set) is flushed as one group. Zero disables the
+	// linger timer.
+	BurnBatchLinger time.Duration
+	// SingleImage burns one image per group (one arm trip and spin-up per
+	// image) — the ablation baseline for the batching experiment.
+	SingleImage bool
+	// VerifyAfterBurn schedules a read-back scrub of each burned tray on
+	// a depth-1 verify pipeline, overlapping verification of group k with
+	// the burn of group k+1 on idle drives.
+	VerifyAfterBurn bool
+}
+
+// Config is the write-path configuration carried by olfs.Config.Write and
+// ros.Options.Write.
+type Config struct {
+	Admission AdmissionConfig
+	Batch     BatchConfig
+}

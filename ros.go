@@ -39,6 +39,7 @@ import (
 	"ros/internal/rack"
 	"ros/internal/sched"
 	"ros/internal/sim"
+	"ros/internal/writepath"
 )
 
 // Re-exported types for the public API surface.
@@ -49,6 +50,13 @@ type (
 	Env = sim.Env
 	// FSConfig tunes OLFS (redundancy, policies, overheads).
 	FSConfig = olfs.Config
+	// WriteConfig tunes the write path: burn-group batching and admission
+	// control (see Options.Write).
+	WriteConfig = writepath.Config
+	// AdmissionConfig is the write-buffer token bucket (WriteConfig.Admission).
+	AdmissionConfig = writepath.AdmissionConfig
+	// BatchConfig is the burn group-commit policy (WriteConfig.Batch).
+	BatchConfig = writepath.BatchConfig
 	// TrayID addresses a 12-disc tray in a roller.
 	TrayID = rack.TrayID
 	// MediaType selects the disc generation.
@@ -65,6 +73,20 @@ const (
 const (
 	WaitForBurn   = olfs.WaitForBurn
 	InterruptBurn = olfs.InterruptBurn
+)
+
+// ErrOverload is returned by writes shed by admission control: the write
+// buffer is over its high-water mark and the request could not be queued
+// (queue full) or waited past its deadline. The data was never accepted —
+// callers retry with backoff. Writes that were acknowledged are never shed.
+var ErrOverload = writepath.ErrOverload
+
+// Admission classes for WriteConfig.Admission.Reserve and per-class status.
+const (
+	// WriteInteractive — foreground ingest (default for WriteFile).
+	WriteInteractive = writepath.Interactive
+	// WriteArchival — background traffic: direct-mode mover, re-replication.
+	WriteArchival = writepath.Archival
 )
 
 // Rack health states for the federation layer (Options.Racks > 1), usable
@@ -100,6 +122,12 @@ type Options struct {
 	// DisableAutoBurn turns off automatic burning (burn explicitly with
 	// FS.FlushAndBurn). By default full image sets burn as they form.
 	DisableAutoBurn bool
+	// Write tunes the write path: burn-group batching (Write.Batch) and
+	// write-buffer admission control (Write.Admission). The zero value keeps
+	// the legacy pipeline: one full set per burn, admission accounting on but
+	// never blocking. Equivalent to setting FS.Write directly; a non-zero
+	// Options.Write wins.
+	Write WriteConfig
 
 	// Racks federates this many identical rack stacks behind one namespace
 	// (internal/cluster). 0 or 1 builds the classic single-rack system with
@@ -197,6 +225,7 @@ const DefaultRuleSpec = `
 	cluster-rack-offline: threshold cluster.racks_offline > 0
 	cluster-rerepl-stuck: absence cluster.rerepl_backlog above 0 window 10m
 	cluster-write-slo: burnrate cluster.route_errors / cluster.writes budget 0.01 x 10 window 5m
+	write-buffer-full: threshold writepath.buffer_pct > 90 for 5m
 `
 
 // DefaultRules parses DefaultRuleSpec.
@@ -237,6 +266,9 @@ func New(o Options) (*System, error) {
 		cfg.ParityDiscs = 1
 	}
 	cfg.AutoBurn = !o.DisableAutoBurn
+	if o.Write != (WriteConfig{}) {
+		cfg.Write = o.Write
+	}
 	pol, err := sched.ParsePolicy(o.SchedPolicy)
 	if err != nil {
 		return nil, err
